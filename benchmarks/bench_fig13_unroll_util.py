@@ -1,0 +1,28 @@
+"""Fig. 13 — intra-warp thread utilization vs unrolling size.
+
+Paper shape: utilization rises monotonically with the unrolling size
+because candidate sets are bounded by vertex degree and median degrees
+are far below the warp width (Table I).
+"""
+
+from repro.bench import fig13_unroll_utilization
+
+
+def test_fig13(benchmark, save_result, bench_budget):
+    res = benchmark.pedantic(
+        fig13_unroll_utilization,
+        kwargs={"budget": bench_budget},
+        iterations=1,
+        rounds=1,
+    )
+    save_result("fig13_unroll_utilization", res.rendered)
+    # monotone non-decreasing utilization per query
+    by_query: dict[str, list[tuple[int, float]]] = {}
+    for (qn, u), util in res.data.items():
+        by_query.setdefault(qn, []).append((u, util))
+    for qn, pts in by_query.items():
+        pts.sort()
+        utils = [u for _, u in pts]
+        assert all(b >= a - 0.02 for a, b in zip(utils, utils[1:])), (qn, utils)
+        # unroll 8 must be a real improvement over no unrolling
+        assert utils[-1] > utils[0] * 1.2, (qn, utils)

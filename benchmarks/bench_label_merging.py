@@ -1,0 +1,61 @@
+"""Design-choice ablation: split vs merged labeled intermediate sets.
+
+Sec. VII / Fig. 10: Dryadic's labeled code motion splits intermediate
+sets per label (≥ n(n-1)/2 sets), which would overflow GPU shared
+memory once ``Csize`` is kept for every set of every unrolled iteration
+of every resident warp; STMatch merges the per-label copies into
+multi-label sets.  This bench quantifies both layouts' shared-memory
+footprints and the resident-warp limit they imply on a paper-shaped
+block (48 KB shared memory, 32 warps/block, UNROLL=8).
+"""
+
+from repro.bench.tables import TextTable
+from repro.codemotion import (
+    motioned_program,
+    shared_memory_footprint,
+    split_labeled_program,
+)
+from repro.pattern import get_query
+
+SHARED_PER_BLOCK = 48 * 1024
+WARPS_PER_BLOCK = 32
+
+
+def _labeled(name: str, num_labels: int = 10):
+    q = get_query(name)
+    labels = [i % num_labels for i in range(q.size)]
+    return q.with_labels(labels)
+
+
+def render_table() -> TextTable:
+    t = TextTable(
+        title="Labeled set layout: split (Fig. 10a) vs merged (Fig. 10b)",
+        columns=["query", "sets merged", "sets split", "bytes/warp merged",
+                 "bytes/warp split", "warps/block merged", "warps/block split"],
+    )
+    for name in ["q5", "q8", "q13", "q16", "q22", "q24"]:
+        q = _labeled(name)
+        merged = motioned_program(q, vertex_induced=True)
+        split = split_labeled_program(merged, q)
+        fp_m = shared_memory_footprint(merged, unroll=8)
+        fp_s = shared_memory_footprint(split, unroll=8)
+        warps_m = SHARED_PER_BLOCK // max(fp_m.total_bytes, 1)
+        warps_s = SHARED_PER_BLOCK // max(fp_s.total_bytes, 1)
+        t.add_row(name, merged.num_sets, split.num_sets,
+                  fp_m.total_bytes, fp_s.total_bytes,
+                  min(warps_m, WARPS_PER_BLOCK), min(warps_s, WARPS_PER_BLOCK))
+    t.add_note("48 KB shared memory per block; Csize/iter/uiter per warp at "
+               "UNROLL=8; fewer resident warps = lower occupancy")
+    return t
+
+
+def test_label_merging(benchmark, save_result):
+    table = benchmark.pedantic(render_table, iterations=1, rounds=1)
+    save_result("label_merging_ablation", table.render())
+    # the merged layout must never need more sets or bytes than split,
+    # and must strictly win on the larger queries
+    rows = {r[0]: r for r in table.rows}
+    for name, row in rows.items():
+        assert int(row[1]) <= int(row[2]), name
+        assert int(row[3]) <= int(row[4]), name
+    assert int(rows["q24"][2]) > int(rows["q24"][1]), "size-7 should split more"

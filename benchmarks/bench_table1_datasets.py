@@ -1,0 +1,15 @@
+"""Table I — dataset statistics of the stand-in graphs."""
+
+from repro.bench import table1_datasets
+
+
+def test_table1(benchmark, save_result):
+    res = benchmark.pedantic(
+        table1_datasets, kwargs={"scale": "small"}, iterations=1, rounds=1
+    )
+    save_result("table1_datasets", res.rendered)
+    # Table I sanity: the loop-unrolling motivation (median degree < 32)
+    # must hold on every stand-in
+    assert all(s.median_degree < 32 for s in res.data.values())
+    # and degree skew must be present (work-stealing motivation)
+    assert all(s.max_degree > 4 * max(s.median_degree, 1) for s in res.data.values())

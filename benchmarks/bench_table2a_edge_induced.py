@@ -1,0 +1,27 @@
+"""Table II(a) — unlabeled edge-induced: STMatch vs cuTS vs Dryadic.
+
+Paper shape to reproduce: STMatch wins every runnable cell; Dryadic
+beats cuTS; cuTS fails (OOM) on MiCo's heavier queries; the deepest
+sparse queries exceed the budget ('−', the paper's 8-hour timeouts).
+"""
+
+from repro.bench import table2a_edge_induced
+from repro.bench.tables import geomean
+
+
+def test_table2a(benchmark, save_result, bench_queries, bench_budget, bench_scale):
+    res = benchmark.pedantic(
+        table2a_edge_induced,
+        kwargs={"queries": bench_queries, "budget": bench_budget, "scale": bench_scale},
+        iterations=1,
+        rounds=1,
+    )
+    save_result("table2a_edge_induced", res.rendered)
+    assert res.consistent(), "systems disagree on match counts"
+    sp_cuts = res.data["speedups"].get("cuts", [])
+    sp_dry = res.data["speedups"].get("dryadic", [])
+    # STMatch must win against both baselines in aggregate
+    if sp_cuts:
+        assert geomean(sp_cuts) > 1.5, f"vs cuts: {geomean(sp_cuts):.2f}x"
+    if sp_dry:
+        assert geomean(sp_dry) > 1.0, f"vs dryadic: {geomean(sp_dry):.2f}x"

@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+experiment drivers in :mod:`repro.bench.experiments`, saves the
+rendered output under ``benchmarks/results/`` and prints it (run pytest
+with ``-s`` to see tables inline).
+
+Scope control: by default the grids run on the ``tiny`` dataset scale
+with a per-cell match budget, keeping the whole suite to minutes of
+pure-Python simulation.  Set ``REPRO_BENCH_FULL=1`` for the full
+24-query grid at the paper-shaped ``small`` scale (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+# representative per-size subsets used in quick mode: the cuTS-covered
+# queries (q7/q15/q23), the cliques (q8/q16/q24) and a sparse + a dense
+# pick per size
+QUICK_QUERIES = ["q5", "q7", "q8", "q13", "q15", "q16", "q23", "q24"]
+QUICK_BUDGET = 2_000_000
+FULL_BUDGET = 4_000_000
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> list[str]:
+    if FULL:
+        from repro.bench import queries_for_table2
+
+        return queries_for_table2()
+    return QUICK_QUERIES
+
+
+@pytest.fixture(scope="session")
+def bench_budget() -> int:
+    return FULL_BUDGET if FULL else QUICK_BUDGET
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str | None:
+    # None = per-query-size default (small for ≤6, tiny for size 7)
+    return None
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rendered: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n{rendered}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Ablation study: what each STMatch optimization buys (Fig. 12 / 13).
+
+Runs the same query under the four engine variants the paper compares —
+naive, +local stealing, +global stealing, +loop unrolling — plus a
+no-code-motion run, and prints time, occupancy, thread utilization and
+steal counts for each.  Then sweeps the unrolling size to reproduce the
+Fig. 13 utilization curve.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro import EngineConfig, STMatchEngine, get_query, load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("mico", scale="small", labeled=False)
+    query = get_query("q7")
+    print(f"graph: {graph}\nquery: {query}\n")
+
+    variants = [
+        ("naive", EngineConfig.naive()),
+        ("+ local stealing", EngineConfig.localsteal()),
+        ("+ global stealing", EngineConfig.local_global_steal()),
+        ("+ loop unrolling", EngineConfig.full()),
+        ("naive, no code motion", EngineConfig.naive(code_motion=False)),
+    ]
+    print(f"{'variant':>22s} {'ms':>8s} {'vs naive':>9s} {'occup':>6s} "
+          f"{'util':>6s} {'steals(l/g)':>12s}")
+    base = None
+    for name, cfg in variants:
+        res = STMatchEngine(graph, cfg).run(query)
+        if base is None:
+            base = res.sim_ms
+        print(f"{name:>22s} {res.sim_ms:>8.3f} {base / res.sim_ms:>8.2f}× "
+              f"{res.occupancy:>6.1%} {res.thread_utilization:>6.1%} "
+              f"{res.num_local_steals:>6d}/{res.num_global_steals}")
+
+    print("\nFig. 13 — thread utilization vs unroll size:")
+    for u in (1, 2, 4, 8, 16):
+        res = STMatchEngine(graph, EngineConfig(unroll=u)).run(query)
+        bar = "#" * int(res.thread_utilization * 40)
+        print(f"  unroll={u:<3d} {res.thread_utilization:>6.1%} {bar}")
+
+
+if __name__ == "__main__":
+    main()

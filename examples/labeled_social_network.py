@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Labeled pattern matching: finding suspicious structures in a typed
+social/transaction network (the Table III setting).
+
+The scenario: a network whose vertices carry role labels
+(0 = customer, 1 = merchant, 2 = reviewer).  We hunt for a "collusion
+ring" pattern — a merchant connected to three reviewers that all know
+each other and a shared customer — and compare STMatch with GSI (the
+labeled GPU baseline) and Dryadic (CPU).
+
+Run:  python examples/labeled_social_network.py
+"""
+
+import numpy as np
+
+from repro import STMatchEngine, QueryGraph
+from repro.baselines import DryadicEngine, GSIEngine
+from repro.graph import powerlaw_cluster
+
+CUSTOMER, MERCHANT, REVIEWER = 0, 1, 2
+
+
+def build_network(seed: int = 7):
+    g = powerlaw_cluster(400, m=5, p_triangle=0.7, seed=seed, name="marketplace")
+    rng = np.random.default_rng(seed)
+    # hubs tend to be merchants; the long tail splits customer/reviewer
+    deg = g.degree()
+    labels = np.where(
+        deg > np.quantile(deg, 0.9),
+        MERCHANT,
+        rng.choice([CUSTOMER, REVIEWER], size=g.num_vertices, p=[0.6, 0.4]),
+    ).astype(np.int32)
+    return g.with_labels(labels)
+
+
+def collusion_ring() -> QueryGraph:
+    """merchant(0) — reviewers(1,2,3) clique — shared customer(4)."""
+    return QueryGraph.from_edges(
+        5,
+        [
+            (0, 1), (0, 2), (0, 3),      # merchant knows all three reviewers
+            (1, 2), (1, 3), (2, 3),      # reviewers form a triangle
+            (1, 4), (2, 4),              # two of them share a customer
+        ],
+        labels=[MERCHANT, REVIEWER, REVIEWER, REVIEWER, CUSTOMER],
+        name="collusion-ring",
+    )
+
+
+def main() -> None:
+    graph = build_network()
+    print(f"network: {graph}")
+    hist = np.bincount(graph.labels)
+    print(f"roles: customers={hist[CUSTOMER]}, merchants={hist[MERCHANT]}, "
+          f"reviewers={hist[REVIEWER]}\n")
+
+    pattern = collusion_ring()
+    print(f"pattern: {pattern} labels={list(pattern.labels)}\n")
+
+    for name, engine in [
+        ("stmatch", STMatchEngine(graph)),
+        ("gsi", GSIEngine(graph)),
+        ("dryadic", DryadicEngine(graph)),
+    ]:
+        res = engine.run(pattern)
+        print(f"{name:>8s}: {res.cell(3):>9s} ms  "
+              f"matches={res.matches if res.ok else '—'}  status={res.status}")
+
+    # show a few concrete rings
+    st = STMatchEngine(graph)
+    plan = st.plan(pattern)
+    rings = []
+    st.run(plan, on_match=lambda m: rings.append(m))
+    print(f"\n{len(rings)} rings; examples (matching-order positions):")
+    for m in rings[:5]:
+        print(f"  {m}")
+    if rings:
+        merchants = {m[list(plan.order).index(0)] for m in rings}
+        print(f"distinct merchants involved: {len(merchants)}")
+
+
+if __name__ == "__main__":
+    main()

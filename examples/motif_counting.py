@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Motif counting: the classic graph-mining workload from the intro.
+
+Counts every connected 4-vertex motif (path, star, cycle, tailed
+triangle, diamond, clique) in a clustered social-network stand-in,
+vertex-induced — the standard "graphlet census" of network science.
+Cross-checks STMatch against the CPU Dryadic baseline and prints the
+motif frequency distribution plus the per-motif speedup.
+
+Run:  python examples/motif_counting.py
+"""
+
+from repro import STMatchEngine
+from repro.baselines import DryadicEngine
+from repro.graph import powerlaw_cluster
+from repro.pattern import connected_motifs
+
+def motif_label(q) -> str:
+    """Human name for a 4-vertex motif by (edges, degree sequence)."""
+    m = q.num_edges
+    degs = tuple(sorted(q.degree(u) for u in range(q.size)))
+    return {
+        (3, (1, 1, 1, 3)): "star",
+        (3, (1, 1, 2, 2)): "path",
+        (4, (1, 2, 2, 3)): "tailed-triangle",
+        (4, (2, 2, 2, 2)): "cycle",
+        (5, (2, 2, 3, 3)): "diamond",
+        (6, (3, 3, 3, 3)): "clique",
+    }[(m, degs)]
+
+
+def main() -> None:
+    graph = powerlaw_cluster(260, m=4, p_triangle=0.6, seed=42, name="social")
+    print(f"graph: {graph}\n")
+
+    stmatch = STMatchEngine(graph)
+    dryadic = DryadicEngine(graph)
+
+    print(f"{'motif':>16s} {'count':>12s} {'stmatch ms':>11s} "
+          f"{'dryadic ms':>11s} {'speedup':>8s}")
+    total = 0
+    for q in connected_motifs(4):
+        st = stmatch.run(q, vertex_induced=True)
+        dr = dryadic.run(q, vertex_induced=True)
+        assert st.matches == dr.matches, "engines disagree!"
+        total += st.matches
+        sp = dr.sim_ms / st.sim_ms if st.sim_ms else float("inf")
+        print(f"{motif_label(q):>16s} {st.matches:>12,} {st.sim_ms:>11.3f} "
+              f"{dr.sim_ms:>11.3f} {sp:>7.1f}×")
+    print(f"\ntotal vertex-induced 4-motifs: {total:,}")
+    print("(each subgraph counted once — symmetry breaking is on)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Profile the simulator's own hotspots (development utility).
+
+"No optimization without measuring": this script cProfiles one engine
+run and prints the top functions by cumulative time, so changes to the
+virtual GPU or the kernel loop can be checked for Python-level
+regressions.  The usual hot spots are the combined set operation and
+the per-frame candidate filtering — both NumPy-vectorized.
+
+Run:  python examples/profile_hotspots.py
+"""
+
+import cProfile
+import pstats
+from io import StringIO
+
+from repro import STMatchEngine, get_query, load_dataset
+
+
+def workload() -> None:
+    graph = load_dataset("wiki_vote", scale="small")
+    STMatchEngine(graph).run(get_query("q7"))
+
+
+def main() -> None:
+    load_dataset("wiki_vote", scale="small")  # warm the dataset cache
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    out = StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(18)
+    print(out.getvalue())
+    print("hot paths to watch: combined_set_op (warp set ops), "
+          "compute_frame (getCandidates), EventScheduler.run (stepping)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a Python reproduction of STMatch (SC 2022).
+
+STMatch is a stack-based graph pattern matching system for GPUs with
+two-level work stealing, loop unrolling with warp-combined set
+operations, and loop-invariant code motion.  This library reimplements
+the full system — and the cuTS / GSI / Dryadic baselines it is
+evaluated against — on a deterministic virtual GPU (see DESIGN.md).
+
+Quickstart::
+
+    from repro import STMatchEngine, get_query, load_dataset
+
+    graph = load_dataset("wiki_vote", scale="tiny")
+    engine = STMatchEngine(graph)
+    result = engine.run(get_query("q7"))
+    print(result.matches, result.sim_ms)
+"""
+
+from .core import (
+    EngineConfig,
+    MultiGpuResult,
+    RunResult,
+    RunStatus,
+    STMatchEngine,
+    run_multi_gpu,
+)
+from .graph import CSRGraph, load_dataset
+from .pattern import QueryGraph, build_plan, get_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STMatchEngine",
+    "EngineConfig",
+    "RunResult",
+    "RunStatus",
+    "MultiGpuResult",
+    "run_multi_gpu",
+    "CSRGraph",
+    "QueryGraph",
+    "load_dataset",
+    "get_query",
+    "build_plan",
+    "__version__",
+]

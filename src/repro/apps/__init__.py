@@ -1,0 +1,14 @@
+"""Applications built on the matching engine (motif census, cliques)."""
+
+from .cliques import clique_profile, count_cliques, list_cliques, max_clique_size
+from .motifs import MotifCensus, graphlet_frequencies, motif_census
+
+__all__ = [
+    "MotifCensus",
+    "motif_census",
+    "graphlet_frequencies",
+    "count_cliques",
+    "list_cliques",
+    "max_clique_size",
+    "clique_profile",
+]

@@ -1,0 +1,90 @@
+"""Clique counting and listing on top of the STMatch engine.
+
+k-clique listing is the densest special case of pattern matching (the
+paper's q8/q16/q24 queries): every level intersects with every earlier
+neighbor list, symmetry breaking is a total order, and code motion
+collapses the per-level chains into one running intersection.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.core.engine import STMatchEngine
+from repro.graph.csr import CSRGraph
+from repro.pattern.query import QueryGraph
+
+__all__ = ["count_cliques", "list_cliques", "max_clique_size", "clique_profile"]
+
+_MAX_K = 8  # QueryGraph size bound
+
+
+def count_cliques(
+    graph: CSRGraph, k: int, config: EngineConfig | None = None
+) -> int:
+    """Number of k-cliques (each counted once)."""
+    if not 1 <= k <= _MAX_K:
+        raise ValueError(f"k must be in [1, {_MAX_K}]")
+    if k == 1:
+        return graph.num_vertices
+    if k == 2:
+        return graph.num_edges
+    engine = STMatchEngine(graph, config or EngineConfig())
+    return engine.run(QueryGraph.clique(k)).matches
+
+
+def list_cliques(
+    graph: CSRGraph,
+    k: int,
+    limit: int | None = None,
+    config: EngineConfig | None = None,
+) -> list[tuple[int, ...]]:
+    """Enumerate k-cliques as sorted vertex tuples.
+
+    ``limit`` bounds the enumeration (the engine stops early); the
+    returned tuples are unique because clique symmetry breaking forces
+    strictly increasing matches.
+    """
+    if not 3 <= k <= _MAX_K:
+        raise ValueError(f"k must be in [3, {_MAX_K}] for listing")
+    cfg = (config or EngineConfig()).with_(max_results=limit)
+    engine = STMatchEngine(graph, cfg)
+    out: list[tuple[int, ...]] = []
+    engine.run(QueryGraph.clique(k), on_match=lambda m: out.append(tuple(sorted(m))))
+    if limit is not None:
+        out = out[:limit]
+    return out
+
+
+def max_clique_size(graph: CSRGraph, k_max: int = _MAX_K,
+                    config: EngineConfig | None = None) -> int:
+    """Largest k ≤ ``k_max`` with at least one k-clique.
+
+    Uses the early-exit budget (one match suffices) per size, rising
+    until a size has none.
+    """
+    if graph.num_vertices == 0:
+        return 0
+    best = 1
+    cfg = (config or EngineConfig()).with_(max_results=1)
+    engine = STMatchEngine(graph, cfg)
+    for k in range(2, k_max + 1):
+        if k == 2:
+            found = graph.num_edges > 0
+        else:
+            found = engine.run(QueryGraph.clique(k)).matches > 0
+        if not found:
+            break
+        best = k
+    return best
+
+
+def clique_profile(graph: CSRGraph, k_max: int = 6,
+                   config: EngineConfig | None = None) -> dict[int, int]:
+    """``{k: #k-cliques}`` for k = 3..k_max (stops early at zero)."""
+    profile: dict[int, int] = {}
+    for k in range(3, k_max + 1):
+        c = count_cliques(graph, k, config=config)
+        profile[k] = c
+        if c == 0:
+            break
+    return profile

@@ -1,0 +1,34 @@
+"""Baseline systems the paper evaluates against, plus the oracle."""
+
+from .cuts import CuTSEngine, make_cuts_config
+from .dryadic import DryadicEngine, schedule_tasks
+from .gsi import GSIEngine, make_gsi_config
+from .recursive import (
+    RecursiveMatcher,
+    count_matches_recursive,
+    count_via_bruteforce,
+    count_via_networkx,
+)
+from .subgraph_centric import (
+    BudgetExceeded,
+    SubgraphCentricConfig,
+    SubgraphCentricEngine,
+)
+from .trie import PartialTrie
+
+__all__ = [
+    "RecursiveMatcher",
+    "count_matches_recursive",
+    "count_via_bruteforce",
+    "count_via_networkx",
+    "DryadicEngine",
+    "schedule_tasks",
+    "CuTSEngine",
+    "make_cuts_config",
+    "GSIEngine",
+    "make_gsi_config",
+    "SubgraphCentricEngine",
+    "SubgraphCentricConfig",
+    "BudgetExceeded",
+    "PartialTrie",
+]

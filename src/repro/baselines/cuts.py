@@ -1,0 +1,66 @@
+"""cuTS baseline (Xiang et al., SC'21) — the paper's main GPU comparator.
+
+cuTS is a subgraph-isomorphism (edge-induced, unlabeled) system that
+extends partial subgraphs breadth-first, compresses the intermediate
+tables into a trie, and falls back to a hybrid BFS-DFS chunked order
+when a level would exceed its pre-allocated memory.  In the paper's
+Table II it loses to both Dryadic and STMatch and runs out of memory on
+MiCo for every query.
+
+Configuration of the shared subgraph-centric core:
+
+* trie-compressed rows (8 B/partial),
+* hybrid chunking enabled,
+* unlabeled, edge-induced only,
+* no code motion (inherent to subgraph-centric execution).
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import CSRGraph
+from repro.virtgpu.device import DeviceConfig
+
+from .subgraph_centric import SubgraphCentricConfig, SubgraphCentricEngine
+
+__all__ = ["CuTSEngine", "make_cuts_config"]
+
+
+def make_cuts_config(
+    device: DeviceConfig | None = None,
+    max_results: int | None = None,
+    max_rows: int | None = None,
+) -> SubgraphCentricConfig:
+    """cuTS behavioral profile for the subgraph-centric core."""
+    return SubgraphCentricConfig(
+        name="cuts",
+        bytes_per_row_at_level="trie",
+        allow_chunking=True,
+        supports_labels=False,
+        supports_vertex_induced=False,
+        # trie maintenance (atomic compare-and-swap appends, node dedup)
+        # plus per-edge candidate verification of the directed-query DAG
+        # on top of the raw set operations; calibrated so the paper's
+        # ordering (STMatch > Dryadic > cuTS) and rough gaps hold — see
+        # DESIGN.md §2 on calibrated behavioral constants
+        work_factor=4.0,
+        traffic_factor=4.0,
+        pointer_chase_decode=True,
+        balance_efficiency=0.5,
+        device=device or DeviceConfig(),
+        max_results=max_results,
+        max_rows=max_rows,
+    )
+
+
+class CuTSEngine(SubgraphCentricEngine):
+    """Trie-compressed hybrid BFS-DFS subgraph isomorphism on the
+    virtual GPU."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: DeviceConfig | None = None,
+        max_results: int | None = None,
+        max_rows: int | None = None,
+    ) -> None:
+        super().__init__(graph, make_cuts_config(device=device, max_results=max_results, max_rows=max_rows))

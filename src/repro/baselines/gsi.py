@@ -1,0 +1,70 @@
+"""GSI baseline (Zeng et al., ICDE'20) — the labeled GPU comparator.
+
+GSI is a vertex-oriented BFS join system for *labeled* subgraph
+matching: at every step it joins the table of partial matches with the
+candidates of the next query vertex using its Prealloc-Combine
+strategy, materializing full-tuple tables in global memory.  It has no
+trie compression and no hybrid fallback, so it runs out of memory
+earlier than cuTS — in the paper it fails on MiCo, LiveJournal, Orkut
+and Friendster for every query (Table III), and where it runs it is
+dominated by cuTS (Sec. VIII-B).
+
+Configuration of the shared subgraph-centric core:
+
+* full-tuple rows (4 B × level per partial),
+* no chunking (pure BFS),
+* labeled + unlabeled, edge-induced only,
+* heavier per-join cost (two-phase prealloc + combine pass, scattered
+  atomics into the output table).
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import CSRGraph
+from repro.virtgpu.device import DeviceConfig
+
+from .subgraph_centric import SubgraphCentricConfig, SubgraphCentricEngine
+
+__all__ = ["GSIEngine", "make_gsi_config"]
+
+
+def make_gsi_config(
+    device: DeviceConfig | None = None,
+    max_results: int | None = None,
+    max_rows: int | None = None,
+) -> SubgraphCentricConfig:
+    """GSI behavioral profile for the subgraph-centric core."""
+    return SubgraphCentricConfig(
+        name="gsi",
+        bytes_per_row_at_level="tuple",
+        allow_chunking=False,
+        max_chunk_splits=0,
+        supports_labels=True,
+        supports_vertex_induced=False,
+        # Prealloc-Combine runs every join twice (size pass + write pass),
+        # and the PCSR candidate probe adds hashing work per element;
+        # calibrated to sit below cuTS (the paper: GSI is "dominated by
+        # cuTS" wherever both run) — see DESIGN.md §2
+        work_factor=6.0,
+        # full tuples + scattered atomic writes cost more traffic than
+        # cuTS's trie appends
+        traffic_factor=6.0,
+        pointer_chase_decode=False,  # tuple rows read coalesced
+        balance_efficiency=0.35,     # warp-per-subgraph, no virtual warps
+        device=device or DeviceConfig(),
+        max_results=max_results,
+        max_rows=max_rows,
+    )
+
+
+class GSIEngine(SubgraphCentricEngine):
+    """Prealloc-Combine BFS join matching on the virtual GPU."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: DeviceConfig | None = None,
+        max_results: int | None = None,
+        max_rows: int | None = None,
+    ) -> None:
+        super().__init__(graph, make_gsi_config(device=device, max_results=max_results, max_rows=max_rows))

@@ -1,0 +1,394 @@
+"""Shared core of the subgraph-centric GPU baselines (cuTS, GSI).
+
+The systems STMatch compares against extend a *materialized* list of
+partial subgraphs one level at a time (Sec. I): every level is one GPU
+kernel launch over the current table, produces the next table in global
+memory, and synchronizes.  Their three structural handicaps — per-level
+launch/sync overhead, global-memory materialization traffic, and the
+loss of the loop hierarchy (no code motion possible) — all fall out of
+this core:
+
+* plans are always compiled **without** code motion (the hierarchy of
+  set operations is lost once computation is driven by individual
+  subgraphs, Sec. VII);
+* every produced/consumed table row is charged global-memory traffic;
+* every (level, chunk) costs a kernel launch;
+* tables are charged against the device's global memory and raise OOM
+  exactly like the real systems' '×' failures.
+
+cuTS additionally compresses tables into a trie (parent pointer +
+vertex = 8 B/row) and falls back to hybrid BFS-DFS chunking when a
+level would overflow its budget; GSI stores full tuples and cannot
+chunk.  Those differences live in :mod:`repro.baselines.cuts` and
+:mod:`repro.baselines.gsi`, which configure this core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codemotion.depgraph import BaseKind, OpKind
+from repro.core.counters import RunResult, RunStatus
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import MatchingPlan, build_plan
+from repro.pattern.query import QueryGraph
+from repro.virtgpu.costmodel import GpuCostModel
+from repro.virtgpu.device import DeviceConfig, VirtualDevice
+from repro.virtgpu.memory import DeviceOOMError
+
+__all__ = ["SubgraphCentricConfig", "SubgraphCentricEngine", "BudgetExceeded"]
+
+
+class BudgetExceeded(Exception):
+    """Internal: a level outgrew its memory budget (triggers chunking)."""
+
+
+@dataclass(frozen=True)
+class SubgraphCentricConfig:
+    """Behavioral knobs differentiating cuTS and GSI."""
+
+    name: str = "subgraph-centric"
+    bytes_per_row_at_level: str = "trie"  # "trie" (8 B) or "tuple" (4 B × level)
+    allow_chunking: bool = True           # hybrid BFS-DFS fallback (cuTS)
+    max_chunk_splits: int = 48            # pre-planned hybrid pool count;
+    #   the real scheduler sizes its per-level pools ahead of time from
+    #   cardinality estimates and cannot subdivide indefinitely — running
+    #   out of split credits is an out-of-memory failure
+    estimate_sample: int = 64             # frontier rows sampled for the
+    #   cardinality estimate before each level kernel
+    supports_labels: bool = False
+    supports_vertex_induced: bool = False
+    work_factor: float = 1.0              # per-set-op cost multiplier
+    traffic_factor: float = 1.0           # materialization traffic multiplier
+    pointer_chase_decode: bool = True     # trie prefix decode = serialized hops
+    balance_efficiency: float = 0.5       # BFS kernels: stragglers + tail warps
+    table_budget_fraction: float = 0.45   # share of free global memory per table
+    device: DeviceConfig = DeviceConfig()
+    max_results: int | None = None
+    max_rows: int | None = None           # total produced-row budget (the
+    #   benchmark harness's timeout stand-in for BFS systems, which only
+    #   see completed matches at the last level)
+
+    def row_bytes(self, level: int) -> int:
+        if self.bytes_per_row_at_level == "trie":
+            return 8  # parent index + vertex id
+        return 4 * max(level, 1)
+
+
+class SubgraphCentricEngine:
+    """BFS extension engine over materialized partial-subgraph tables."""
+
+    def __init__(self, graph: CSRGraph, config: SubgraphCentricConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.cost: GpuCostModel = config.device.cost
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, query: QueryGraph, vertex_induced: bool = False,
+             symmetry_breaking: bool = True) -> MatchingPlan:
+        """Subgraph-centric systems cannot lift loop invariants: the plan
+        is always the naive (no-code-motion) program."""
+        return build_plan(
+            query,
+            data_graph=self.graph,
+            vertex_induced=vertex_induced,
+            symmetry_breaking=symmetry_breaking,
+            code_motion=False,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        query: QueryGraph | MatchingPlan,
+        vertex_induced: bool = False,
+        symmetry_breaking: bool = True,
+    ) -> RunResult:
+        cfg = self.config
+        if isinstance(query, MatchingPlan):
+            plan = query
+            vertex_induced = plan.vertex_induced
+        else:
+            if vertex_induced and not cfg.supports_vertex_induced:
+                return RunResult(system=self.name, status=RunStatus.UNSUPPORTED,
+                                 detail="edge-induced matching only")
+            plan = self.plan(query, vertex_induced=vertex_induced,
+                             symmetry_breaking=symmetry_breaking)
+        if plan.is_labeled and not cfg.supports_labels:
+            return RunResult(system=self.name, status=RunStatus.UNSUPPORTED,
+                             detail="labeled queries not supported")
+        if plan.vertex_induced and not cfg.supports_vertex_induced:
+            return RunResult(system=self.name, status=RunStatus.UNSUPPORTED,
+                             detail="edge-induced matching only")
+        if plan.code_motion:
+            raise ValueError("subgraph-centric engines require a naive plan")
+        run = _BfsRun(self.graph, plan, cfg)
+        try:
+            matches, cycles, truncated = run.execute()
+        except DeviceOOMError as e:
+            return RunResult(system=self.name, status=RunStatus.OOM,
+                             detail=str(e), cycles=run.cycles,
+                             sim_ms=self.cost.to_ms(run.cycles))
+        status = RunStatus.BUDGET if truncated else RunStatus.OK
+        return RunResult(
+            system=self.name,
+            matches=matches,
+            cycles=cycles,
+            sim_ms=self.cost.to_ms(cycles),
+            status=status,
+            num_local_steals=0,
+            num_global_steals=0,
+            detail=f"launches={run.launches} chunks={run.chunk_splits}",
+        )
+
+    def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
+        res = self.run(query, **kw)
+        if not res.ok:
+            raise RuntimeError(f"{self.name} failed: {res.status} ({res.detail})")
+        return res.matches
+
+
+class _BfsRun:
+    """One BFS/hybrid execution with memory + cycle accounting."""
+
+    def __init__(self, graph: CSRGraph, plan: MatchingPlan, cfg: SubgraphCentricConfig) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.cfg = cfg
+        self.cost = cfg.device.cost
+        self.device = VirtualDevice(cfg.device)
+        self.k = plan.size
+        self.cycles = 0.0
+        self.launches = 0
+        self.chunk_splits = 0
+        self.matches = 0
+        self.produced_rows = 0
+        self.truncated = False
+        # the data graph occupies global memory like on a real device
+        gbytes = int(graph.indices.nbytes + graph.indptr.nbytes)
+        if graph.labels is not None:
+            gbytes += int(graph.labels.nbytes)
+        self.device.global_mem.alloc(gbytes, tag="graph")
+        free = self.device.global_mem.capacity - self.device.global_mem.in_use
+        self.level_budget = int(free * cfg.table_budget_fraction)
+        if plan.query.labels is not None:
+            self._level_label = [int(x) for x in plan.query.labels]
+        else:
+            self._level_label = [None] * self.k
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _launch(self) -> None:
+        self.launches += 1
+        self.cycles += self.cost.kernel_launch
+
+    def _charge_parallel(self, work_cycles: float) -> None:
+        """BFS work is spread over all warps, at sub-ideal efficiency
+        (intra-kernel stragglers and tail effects)."""
+        self.cycles += work_cycles / (
+            self.device.num_warps * self.cfg.balance_efficiency
+        )
+
+    def _table_bytes(self, rows: int, level: int) -> int:
+        return rows * self.cfg.row_bytes(level)
+
+    def _roots(self) -> np.ndarray:
+        recipe = self.plan.program.recipes[self.plan.program.candidate_of_level[0]]
+        verts = np.arange(self.graph.num_vertices, dtype=np.int32)
+        if recipe.label_filter is not None and self.graph.labels is not None:
+            keep = np.isin(self.graph.labels, np.asarray(sorted(recipe.label_filter)))
+            verts = verts[keep]
+        return verts
+
+    # -- candidate generation (per partial row, naive chain) ---------------------
+
+    def _extend_row(self, row: np.ndarray, level: int) -> tuple[np.ndarray, float]:
+        """Candidates for ``level`` under partial match ``row`` plus the
+        set-op cycles one warp spends producing them."""
+        program = self.plan.program
+        sid = program.candidate_of_level[level]
+        r = program.recipes[sid]
+        assert r.base is BaseKind.NEIGHBORS
+        base_v = int(row[r.base_arg])
+        cur = (self.graph.in_neighbors(base_v) if r.base_inbound
+               else self.graph.neighbors(base_v))
+        # reconstructing the partial match: the trie stores one (parent,
+        # vertex) pair per level, so decoding is `level` dependent global
+        # reads (pointer chase); tuple tables read one coalesced row
+        if self.cfg.pointer_chase_decode:
+            work = float(level) * self.cost.global_access
+        else:
+            work = self.cost.global_access * self.cost.rounds(level)
+        work *= self.cfg.work_factor
+        for op in r.ops:
+            op_v = int(row[op.position])
+            operand = (self.graph.in_neighbors(op_v) if op.inbound
+                       else self.graph.neighbors(op_v))
+            work += self.cfg.work_factor * self.cost.set_op_cycles(cur.size, operand.size)
+            if op.kind is OpKind.INTERSECT:
+                cur = np.intersect1d(cur, operand, assume_unique=True)
+            else:
+                cur = np.setdiff1d(cur, operand, assume_unique=True)
+        if not r.ops:
+            work += self.cfg.work_factor * self.cost.copy_cycles(cur.size)
+            cur = cur.copy()
+        lab = self._level_label[level]
+        if lab is not None and cur.size:
+            cur = cur[self.graph.labels[cur] == lab]
+        floor = -1
+        for i in self.plan.restrictions[level]:
+            v = int(row[i])
+            if v > floor:
+                floor = v
+        if floor >= 0 and cur.size:
+            cur = cur[np.searchsorted(cur, floor, side="right"):]
+        if cur.size:
+            mask = np.isin(cur, row[:level].astype(cur.dtype), invert=True)
+            if not mask.all():
+                cur = cur[mask]
+        return cur, work
+
+    # -- BFS with optional hybrid chunking -----------------------------------
+
+    def execute(self) -> tuple[int, float, bool]:
+        roots = self._roots()
+        self._launch()
+        table = roots.reshape(-1, 1).astype(np.int32)
+        tag = "table.L1"
+        bytes0 = self._table_bytes(table.shape[0], 1)
+        self.device.global_mem.alloc(bytes0, tag=tag)
+        try:
+            if self.k == 1:
+                self.matches = int(roots.size)
+                return self.matches, self.cycles, False
+            self._expand(table, level=1)
+        finally:
+            self.device.global_mem.free_tag(tag)
+        return self.matches, self.cycles, self.truncated
+
+    def _estimate_next_rows(self, table: np.ndarray, level: int) -> float:
+        """Cardinality estimate for the next level (sampled branching).
+
+        The real systems pre-allocate level pools from exactly this kind
+        of estimate; it also keeps doomed (OOM) runs cheap here because
+        a hopeless level is rejected *before* materialization.
+        """
+        n = table.shape[0]
+        if n == 0:
+            return 0.0
+        k = min(self.cfg.estimate_sample, n)
+        idx = np.linspace(0, n - 1, k).astype(np.int64)
+        total = 0
+        for i in idx:
+            cand, _ = self._extend_row(table[int(i)], level)
+            total += int(cand.size)
+        return total / k * n
+
+    def _expand(self, table: np.ndarray, level: int) -> None:
+        """Extend ``table`` (partials of length ``level``) to completion."""
+        if self.truncated or table.shape[0] == 0:
+            return
+        if level == self.k:
+            return
+        budget_rows = max(1, self.level_budget // self.cfg.row_bytes(level + 1))
+        est = self._estimate_next_rows(table, level)
+        if est > budget_rows * 0.9:  # pool would overflow (estimation margin)
+            can_split = (
+                self.cfg.allow_chunking
+                and table.shape[0] > 1
+                and self.chunk_splits < self.cfg.max_chunk_splits
+            )
+            if not can_split:
+                raise DeviceOOMError(
+                    f"{self.cfg.name} level-{level + 1} pool "
+                    f"(estimated {est:.0f} rows, splits used {self.chunk_splits})",
+                    int(est) * self.cfg.row_bytes(level + 1),
+                    self.device.global_mem.in_use,
+                    self.device.global_mem.capacity,
+                )
+            # hybrid BFS-DFS: split the frontier and run each half to
+            # completion (more launches, bounded memory) — cuTS Sec. IX
+            self.chunk_splits += 1
+            mid = table.shape[0] // 2
+            self._expand(table[:mid], level)
+            self._expand(table[mid:], level)
+            return
+        try:
+            next_table = self._extend_level(table, level)
+        except BudgetExceeded:
+            # the estimate undershot and the pool overflowed mid-kernel:
+            # fall back to splitting (or fail when that is impossible)
+            if (
+                not self.cfg.allow_chunking
+                or table.shape[0] <= 1
+                or self.chunk_splits >= self.cfg.max_chunk_splits
+            ):
+                raise DeviceOOMError(
+                    f"{self.cfg.name} level-{level} table", self.level_budget + 1,
+                    self.device.global_mem.in_use, self.device.global_mem.capacity,
+                ) from None
+            self.chunk_splits += 1
+            mid = table.shape[0] // 2
+            self._expand(table[:mid], level)
+            self._expand(table[mid:], level)
+            return
+        tag = f"table.L{level + 1}.{self.chunk_splits}"
+        nbytes = self._table_bytes(next_table.shape[0], level + 1)
+        self.device.global_mem.alloc(nbytes, tag=tag)
+        self.produced_rows += int(next_table.shape[0])
+        if self.cfg.max_rows is not None and self.produced_rows >= self.cfg.max_rows:
+            self.truncated = True
+        try:
+            if level + 1 == self.k:
+                self.matches += int(next_table.shape[0])
+                if self.cfg.max_results is not None and self.matches >= self.cfg.max_results:
+                    self.truncated = True
+            else:
+                self._expand(next_table, level + 1)
+        finally:
+            self.device.global_mem.free_tag(tag)
+
+    def _extend_level(self, table: np.ndarray, level: int) -> np.ndarray:
+        """One kernel: extend every partial by one vertex.
+
+        Raises :class:`BudgetExceeded` as soon as the produced rows
+        outgrow the per-level budget, *before* materializing the rest —
+        which is also why OOM runs are cheap.
+        """
+        self._launch()
+        rows_out: list[np.ndarray] = []
+        cands: list[np.ndarray] = []
+        produced = 0
+        work = 0.0
+        budget_rows = max(1, self.level_budget // self.cfg.row_bytes(level + 1))
+        for i in range(table.shape[0]):
+            cand, w = self._extend_row(table[i], level)
+            work += w
+            # materialization traffic: every produced row is written to
+            # and later read back from global memory
+            work += (
+                self.cfg.traffic_factor
+                * self.cost.global_access
+                * self.cost.rounds(cand.size * self.cfg.row_bytes(level + 1) // 4)
+                * 2
+            )
+            produced += int(cand.size)
+            if produced > budget_rows:
+                self._charge_parallel(work)
+                raise BudgetExceeded
+            if cand.size:
+                rows_out.append(np.repeat(table[i : i + 1], cand.size, axis=0))
+                cands.append(cand.astype(np.int32))
+        self._charge_parallel(work)
+        if not rows_out:
+            return np.empty((0, level + 1), dtype=np.int32)
+        prefix = np.concatenate(rows_out, axis=0)
+        new_col = np.concatenate(cands).reshape(-1, 1)
+        return np.concatenate([prefix, new_col], axis=1)

@@ -1,0 +1,108 @@
+"""cuTS-style trie compression of partial-subgraph tables.
+
+cuTS stores the BFS frontier as a trie: partials sharing a prefix share
+trie nodes, so each new partial costs one (parent-index, vertex) pair
+instead of a full tuple.  The cost/memory model in
+:mod:`repro.baselines.subgraph_centric` charges 8 B/row on that basis;
+this module provides the actual data structure so tests can verify the
+accounting (``PartialTrie.nbytes``) and round-trip tables through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PartialTrie"]
+
+
+@dataclass
+class PartialTrie:
+    """A level-indexed trie over partial matches.
+
+    ``levels[l]`` holds two parallel arrays: ``parent`` (index into
+    level ``l-1``; -1 at the root level) and ``vertex`` (the data vertex
+    matched at position ``l``).  Leaves of the deepest level enumerate
+    the stored partials.
+    """
+
+    levels: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    @classmethod
+    def from_table(cls, table: np.ndarray) -> "PartialTrie":
+        """Build a trie from an (n, k) table of partial matches.
+
+        Rows must be grouped by prefix (BFS extension produces them that
+        way: children of one parent are contiguous); grouping is not
+        required for correctness, only for maximal sharing.
+        """
+        table = np.asarray(table)
+        if table.ndim != 2:
+            raise ValueError("table must be 2-D")
+        n, k = table.shape
+        trie = cls()
+        if n == 0 or k == 0:
+            return trie
+        # level 0: unique roots in order of first appearance
+        parent_idx = np.zeros(n, dtype=np.int64)  # row -> node at current level
+        for l in range(k):
+            keys: dict[tuple[int, int], int] = {}
+            parents: list[int] = []
+            vertices: list[int] = []
+            row_node = np.empty(n, dtype=np.int64)
+            for i in range(n):
+                p = int(parent_idx[i]) if l > 0 else -1
+                key = (p, int(table[i, l]))
+                node = keys.get(key)
+                if node is None:
+                    node = len(parents)
+                    keys[key] = node
+                    parents.append(p)
+                    vertices.append(int(table[i, l]))
+                row_node[i] = node
+            trie.levels.append(
+                (np.asarray(parents, dtype=np.int32), np.asarray(vertices, dtype=np.int32))
+            )
+            parent_idx = row_node
+        return trie
+
+    def to_table(self) -> np.ndarray:
+        """Expand back to the full (n, k) table (leaf-major order)."""
+        if not self.levels:
+            return np.empty((0, 0), dtype=np.int32)
+        k = len(self.levels)
+        parents, vertices = self.levels[-1]
+        n = parents.size if k > 1 else vertices.size
+        out = np.empty((vertices.size, k), dtype=np.int32)
+        for i in range(vertices.size):
+            node = i
+            for l in range(k - 1, -1, -1):
+                p, v = self.levels[l]
+                out[i, l] = v[node]
+                node = int(p[node])
+        return out
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def num_partials(self) -> int:
+        return int(self.levels[-1][1].size) if self.levels else 0
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(int(v.size) for _, v in self.levels)
+
+    @property
+    def nbytes(self) -> int:
+        """8 bytes per trie node (parent + vertex), the cuTS accounting."""
+        return 8 * self.num_nodes
+
+    def compression_ratio(self) -> float:
+        """Full-tuple bytes divided by trie bytes (≥ 1 with sharing)."""
+        if not self.levels:
+            return 1.0
+        full = self.num_partials * self.num_levels * 4
+        return full / self.nbytes if self.nbytes else 1.0

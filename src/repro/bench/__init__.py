@@ -1,0 +1,50 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .experiments import (
+    ExperimentResult,
+    codemotion_ablation,
+    fig11_multigpu,
+    fig12_ablation,
+    fig13_unroll_utilization,
+    table1_datasets,
+    table2a_edge_induced,
+    table2b_vertex_induced,
+    table3_labeled,
+)
+from .harness import CellResult, SystemDriver, make_drivers, run_workload
+from .tables import SeriesSet, TextTable, geomean
+from .workloads import (
+    DEFAULT_BUDGET,
+    Workload,
+    labeled_query_for,
+    make_workload,
+    queries_for_fig12,
+    queries_for_table2,
+    scale_for_query,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1_datasets",
+    "table2a_edge_induced",
+    "table2b_vertex_induced",
+    "table3_labeled",
+    "fig11_multigpu",
+    "fig12_ablation",
+    "fig13_unroll_utilization",
+    "codemotion_ablation",
+    "SystemDriver",
+    "CellResult",
+    "make_drivers",
+    "run_workload",
+    "TextTable",
+    "SeriesSet",
+    "geomean",
+    "Workload",
+    "make_workload",
+    "labeled_query_for",
+    "queries_for_table2",
+    "queries_for_fig12",
+    "scale_for_query",
+    "DEFAULT_BUDGET",
+]

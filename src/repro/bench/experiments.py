@@ -1,0 +1,358 @@
+"""Experiment drivers — one per table/figure in the paper's evaluation.
+
+Each driver reruns a scaled version of the corresponding experiment on
+the stand-in datasets and returns a rendered table/series plus the raw
+cell results (which the test suite checks for cross-system count
+consistency).  See DESIGN.md §4 for the experiment index and
+EXPERIMENTS.md for paper-vs-measured notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EngineConfig
+from repro.core.counters import RunResult
+from repro.core.engine import STMatchEngine
+from repro.core.multi_gpu import run_multi_gpu
+from repro.graph import compute_stats, load_dataset
+from repro.graph.datasets import DATASETS
+
+from .harness import CellResult, make_drivers, run_workload
+from .tables import SeriesSet, TextTable, geomean
+from .workloads import (
+    DEFAULT_BUDGET,
+    make_workload,
+    queries_for_fig12,
+    queries_for_table2,
+    scale_for_query,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1_datasets",
+    "table2a_edge_induced",
+    "table2b_vertex_induced",
+    "table3_labeled",
+    "fig11_multigpu",
+    "fig12_ablation",
+    "fig13_unroll_utilization",
+    "codemotion_ablation",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output plus raw data for one experiment."""
+
+    experiment: str
+    rendered: str
+    cells: list[CellResult] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def consistent(self) -> bool:
+        return all(c.consistent() for c in self.cells)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.rendered
+
+
+# ---------------------------------------------------------------------------
+# Table I — dataset statistics
+# ---------------------------------------------------------------------------
+
+
+def table1_datasets(scale: str = "small", degree_cap: int = 4096) -> ExperimentResult:
+    """Table I: per-graph statistics of the stand-in datasets."""
+    t = TextTable(
+        title=f"Table I — graph datasets (stand-ins, scale={scale!r})",
+        columns=["graph", "paper original", "#nodes", "#edges",
+                 "max deg", "med deg", f"deg>{degree_cap}"],
+    )
+    stats = {}
+    for name, spec in DATASETS.items():
+        g = load_dataset(name, scale=scale)
+        s = compute_stats(g, degree_cap=degree_cap)
+        stats[name] = s
+        t.add_row(name, spec.paper_name, s.num_vertices, s.num_edges,
+                  s.max_degree, f"{s.median_degree:.0f}",
+                  f"{100 * s.frac_degree_over:.2f}%")
+    t.add_note("degree-distribution shape matches the SNAP originals; "
+               "sizes are scaled for pure-Python enumeration (DESIGN.md §2)")
+    return ExperimentResult(experiment="table1", rendered=t.render(), data=stats)
+
+
+# ---------------------------------------------------------------------------
+# Tables II(a), II(b), III — execution-time grids
+# ---------------------------------------------------------------------------
+
+
+def _time_grid(
+    experiment: str,
+    title: str,
+    datasets: list[str],
+    queries: list[str],
+    systems: list[str],
+    vertex_induced: bool,
+    labeled: bool,
+    budget: int | None,
+    scale: str | None = None,
+) -> ExperimentResult:
+    drivers = make_drivers()
+    cols = ["query"]
+    for d in datasets:
+        cols.extend(f"{d}:{s}" for s in systems)
+    t = TextTable(title=title, columns=cols)
+    cells: list[CellResult] = []
+    speedups: dict[str, list[float]] = {s: [] for s in systems if s != "stmatch"}
+    for qn in queries:
+        row: list[str] = [qn]
+        for ds in datasets:
+            w = make_workload(ds, qn, vertex_induced=vertex_induced,
+                              labeled=labeled, budget=budget, scale=scale)
+            cell = run_workload(w, systems, drivers)
+            cells.append(cell)
+            for s in systems:
+                row.append(cell.results[s].cell(2))
+            for s in speedups:
+                sp = cell.speedup("stmatch", s)
+                if sp is not None:
+                    speedups[s].append(sp)
+        t.add_row(*row)
+    for s, sp in speedups.items():
+        if sp:
+            t.add_note(
+                f"stmatch vs {s}: geomean {geomean(sp):.1f}×, "
+                f"max {max(sp):.1f}×, min {min(sp):.1f}× over {len(sp)} cells"
+            )
+    t.add_note("cells: simulated ms; '×' out-of-memory, '−' budget hit, "
+               "'n/a' unsupported semantics")
+    return ExperimentResult(experiment=experiment, rendered=t.render(),
+                            cells=cells, data={"speedups": speedups})
+
+
+def table2a_edge_induced(
+    datasets: list[str] | None = None,
+    queries: list[str] | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+    scale: str | None = None,
+) -> ExperimentResult:
+    """Table II(a): unlabeled edge-induced — STMatch vs cuTS vs Dryadic."""
+    return _time_grid(
+        "table2a",
+        "Table II(a) — unlabeled edge-induced matching (simulated ms)",
+        datasets or ["wiki_vote", "enron", "mico"],
+        queries or queries_for_table2(),
+        ["stmatch", "cuts", "dryadic"],
+        vertex_induced=False,
+        labeled=False,
+        budget=budget,
+        scale=scale,
+    )
+
+
+def table2b_vertex_induced(
+    datasets: list[str] | None = None,
+    queries: list[str] | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+    scale: str | None = None,
+) -> ExperimentResult:
+    """Table II(b): unlabeled vertex-induced — STMatch vs Dryadic."""
+    return _time_grid(
+        "table2b",
+        "Table II(b) — unlabeled vertex-induced matching (simulated ms)",
+        datasets or ["wiki_vote", "enron", "mico"],
+        queries or queries_for_table2(),
+        ["stmatch", "dryadic"],
+        vertex_induced=True,
+        labeled=False,
+        budget=budget,
+        scale=scale,
+    )
+
+
+def table3_labeled(
+    datasets: list[str] | None = None,
+    queries: list[str] | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+    scale: str | None = None,
+) -> ExperimentResult:
+    """Table III: labeled edge-induced — STMatch vs GSI vs Dryadic."""
+    return _time_grid(
+        "table3",
+        "Table III — labeled edge-induced matching, 10 random labels (simulated ms)",
+        datasets or ["wiki_vote", "enron", "youtube", "mico"],
+        queries or queries_for_table2(),
+        ["stmatch", "gsi", "dryadic"],
+        vertex_induced=False,
+        labeled=True,
+        budget=budget,
+        scale=scale,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — multi-GPU scaling
+# ---------------------------------------------------------------------------
+
+
+def fig11_multigpu(
+    datasets: list[str] | None = None,
+    queries: list[str] | None = None,
+    device_counts: tuple[int, ...] = (1, 2, 4),
+    labeled: bool = False,
+    budget: int | None = None,
+) -> ExperimentResult:
+    """Fig. 11: speedup of 2 and 4 virtual GPUs over 1.
+
+    Scaling runs must complete (a per-device match budget would truncate
+    the single-GPU baseline earlier than the split runs and corrupt the
+    speedups), so the default budget is None and the default queries are
+    the denser size-6 patterns that finish at bench scale.
+    """
+    datasets = datasets or ["mico"]
+    queries = queries or ["q7", "q13", "q16"]
+    series = SeriesSet(
+        title="Fig. 11 — multi-GPU scaling (speedup over 1 GPU)",
+        x_label="#GPUs",
+        y_label="speedup",
+    )
+    raw: dict[tuple[str, str, int], float] = {}
+    for ds in datasets:
+        for qn in queries:
+            w = make_workload(ds, qn, labeled=labeled, budget=budget)
+            cfg = EngineConfig(max_results=w.budget)
+            base = None
+            for nd in device_counts:
+                res = run_multi_gpu(w.graph, w.query, nd, config=cfg,
+                                    vertex_induced=w.vertex_induced)
+                if base is None:
+                    base = res.sim_ms
+                sp = base / res.sim_ms if res.sim_ms > 0 else float("nan")
+                raw[(ds, qn, nd)] = sp
+                series.add_point(f"{ds}/{qn}", nd, sp)
+    series.notes.append("static root-range split, per-device two-level stealing "
+                        "(no cross-device stealing) — sub-linear on skewed inputs")
+    return ExperimentResult(experiment="fig11", rendered=series.render(), data=raw)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — ablation: work stealing and unrolling
+# ---------------------------------------------------------------------------
+
+
+def fig12_ablation(
+    datasets: list[str] | None = None,
+    queries: list[str] | None = None,
+    labeled: bool = False,
+    budget: int | None = None,
+) -> ExperimentResult:
+    """Fig. 12: naive → localsteal → local+global → +unroll.
+
+    The paper runs this on labeled size-6 queries; at stand-in scale the
+    ten-label filter shrinks those workloads to a few kernel-launch
+    latencies, where no scheduling optimization can show.  The default
+    here therefore uses the unlabeled workloads whose exploration trees
+    are large enough to exercise stealing and unrolling — the same
+    mechanisms on the same graphs (documented in EXPERIMENTS.md).
+    Budgets are off: every variant must complete identically for the
+    per-cell count assertion to hold.
+    """
+    datasets = datasets or ["wiki_vote", "mico"]
+    queries = queries or ["q5", "q7"]
+    variants = [
+        ("naive", EngineConfig.naive()),
+        ("localsteal", EngineConfig.localsteal()),
+        ("local+globalsteal", EngineConfig.local_global_steal()),
+        ("unroll+local+globalsteal", EngineConfig.full()),
+    ]
+    series = SeriesSet(
+        title="Fig. 12 — speedup over the naive engine (occupancy in data)",
+        x_label="variant",
+        y_label="speedup vs naive",
+    )
+    raw: dict[tuple[str, str, str], RunResult] = {}
+    cells: list[CellResult] = []
+    for ds in datasets:
+        for qn in queries:
+            w = make_workload(ds, qn, labeled=labeled, budget=budget)
+            base_ms = None
+            cell = CellResult(workload_key=w.key)
+            for vname, vcfg in variants:
+                eng = STMatchEngine(w.graph, vcfg.with_(max_results=w.budget))
+                res = eng.run(w.query, vertex_induced=w.vertex_induced)
+                raw[(ds, qn, vname)] = res
+                cell.results[vname] = res
+                if base_ms is None:
+                    base_ms = res.sim_ms
+                series.add_point(f"{ds}/{qn}", vname,
+                                 base_ms / res.sim_ms if res.sim_ms else float("nan"))
+            cells.append(cell)
+    series.notes.append("paper: localsteal ≥2× on almost all cases; global adds "
+                        "1.1–2× on large graphs; unroll adds 1.1–2.6×")
+    return ExperimentResult(experiment="fig12", rendered=series.render(),
+                            cells=cells, data=raw)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — thread utilization vs unroll size
+# ---------------------------------------------------------------------------
+
+
+def fig13_unroll_utilization(
+    dataset: str = "enron",
+    queries: list[str] | None = None,
+    unroll_sizes: tuple[int, ...] = (1, 2, 4, 8),
+    budget: int | None = DEFAULT_BUDGET,
+) -> ExperimentResult:
+    """Fig. 13: intra-warp thread utilization rises with unroll size."""
+    queries = queries or ["q7", "q9", "q13", "q15"]
+    series = SeriesSet(
+        title="Fig. 13 — thread utilization vs unrolling size",
+        x_label="unroll",
+        y_label="useful-lane fraction",
+    )
+    raw: dict[tuple[str, int], float] = {}
+    for qn in queries:
+        w = make_workload(dataset, qn, budget=budget)
+        for u in unroll_sizes:
+            cfg = EngineConfig(unroll=u, max_results=w.budget)
+            res = STMatchEngine(w.graph, cfg).run(w.query)
+            raw[(qn, u)] = res.thread_utilization
+            series.add_point(qn, u, res.thread_utilization)
+    series.notes.append("paper: larger unrolling size → higher utilization "
+                        "(median degrees ≪ 32, Table I)")
+    return ExperimentResult(experiment="fig13", rendered=series.render(), data=raw)
+
+
+# ---------------------------------------------------------------------------
+# Sec. VIII-C (text) — code motion ≈ 3× on the naive baseline
+# ---------------------------------------------------------------------------
+
+
+def codemotion_ablation(
+    dataset: str = "wiki_vote",
+    queries: list[str] | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+) -> ExperimentResult:
+    """Sec. VIII-C: disabling code motion slows the naive engine ~3×."""
+    queries = queries or ["q14", "q16", "q22", "q24"]
+    t = TextTable(
+        title="Code-motion ablation (naive engine, simulated ms)",
+        columns=["query", "with motion", "without motion", "slowdown"],
+    )
+    raw = {}
+    for qn in queries:
+        w = make_workload(dataset, qn, budget=budget)
+        with_m = STMatchEngine(
+            w.graph, EngineConfig.naive(max_results=w.budget)
+        ).run(w.query)
+        without_m = STMatchEngine(
+            w.graph, EngineConfig.naive(code_motion=False, max_results=w.budget)
+        ).run(w.query)
+        slow = without_m.sim_ms / with_m.sim_ms if with_m.sim_ms else float("nan")
+        raw[qn] = (with_m, without_m, slow)
+        t.add_row(qn, f"{with_m.sim_ms:.3f}", f"{without_m.sim_ms:.3f}", f"{slow:.1f}×")
+    t.add_note("paper: 'If we disable code motion, the naive baseline will be "
+               "about 3× slower'")
+    return ExperimentResult(experiment="codemotion", rendered=t.render(), data=raw)

@@ -1,0 +1,112 @@
+"""Benchmark harness: uniform drivers for all four systems.
+
+Wraps STMatch, cuTS, GSI and Dryadic behind one ``run(workload)``
+interface so the experiment drivers can sweep (system × dataset ×
+query) grids and render paper-style tables.  Budgets are applied
+consistently: DFS engines stop after ``budget`` matches, BFS engines
+additionally cap produced rows (their analog of wall-clock timeout);
+budget-hit cells render as '−', OOM as '×'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.cuts import CuTSEngine
+from repro.baselines.dryadic import DryadicEngine
+from repro.baselines.gsi import GSIEngine
+from repro.core.config import EngineConfig
+from repro.core.counters import RunResult, RunStatus
+from repro.core.engine import STMatchEngine
+
+from .workloads import Workload
+
+__all__ = ["SystemDriver", "make_drivers", "run_workload", "CellResult"]
+
+# BFS systems count matches only at the last level; the row cap is their
+# stand-in for the wall-clock timeout
+ROW_BUDGET_FACTOR = 3
+
+
+@dataclass
+class SystemDriver:
+    """One system under test."""
+
+    name: str
+    make_engine: Callable[[Workload], object]
+    supports: Callable[[Workload], bool] = lambda w: True
+
+    def run(self, workload: Workload) -> RunResult:
+        if not self.supports(workload):
+            return RunResult(system=self.name, status=RunStatus.UNSUPPORTED)
+        engine = self.make_engine(workload)
+        return engine.run(workload.query, vertex_induced=workload.vertex_induced)
+
+
+def make_drivers(
+    stmatch_config: EngineConfig | None = None,
+    budget_factor: int = ROW_BUDGET_FACTOR,
+) -> dict[str, SystemDriver]:
+    """The paper's four systems, budget-consistent."""
+
+    def st_engine(w: Workload) -> STMatchEngine:
+        cfg = stmatch_config or EngineConfig()
+        return STMatchEngine(w.graph, cfg.with_(max_results=w.budget))
+
+    def cuts_engine(w: Workload) -> CuTSEngine:
+        rows = None if w.budget is None else w.budget * budget_factor
+        return CuTSEngine(w.graph, max_results=w.budget, max_rows=rows)
+
+    def gsi_engine(w: Workload) -> GSIEngine:
+        rows = None if w.budget is None else w.budget * budget_factor
+        return GSIEngine(w.graph, max_results=w.budget, max_rows=rows)
+
+    def dryadic_engine(w: Workload) -> DryadicEngine:
+        return DryadicEngine(w.graph, max_results=w.budget)
+
+    return {
+        "stmatch": SystemDriver("stmatch", st_engine),
+        "cuts": SystemDriver(
+            "cuts",
+            cuts_engine,
+            supports=lambda w: not w.vertex_induced and not w.query.is_labeled,
+        ),
+        "gsi": SystemDriver(
+            "gsi", gsi_engine, supports=lambda w: not w.vertex_induced
+        ),
+        "dryadic": SystemDriver("dryadic", dryadic_engine),
+    }
+
+
+@dataclass
+class CellResult:
+    """All systems' results for one workload cell."""
+
+    workload_key: str
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def consistent(self) -> bool:
+        """All successful systems agree on the match count."""
+        counts = {r.matches for r in self.results.values() if r.ok}
+        return len(counts) <= 1
+
+    def speedup(self, system: str, over: str) -> float | None:
+        a = self.results.get(system)
+        b = self.results.get(over)
+        if a is None or b is None:
+            return None
+        return a.speedup_over(b)
+
+
+def run_workload(
+    workload: Workload,
+    systems: list[str],
+    drivers: dict[str, SystemDriver] | None = None,
+) -> CellResult:
+    """Run one workload cell on the requested systems."""
+    drivers = drivers or make_drivers()
+    cell = CellResult(workload_key=workload.key)
+    for name in systems:
+        cell.results[name] = drivers[name].run(workload)
+    return cell

@@ -1,0 +1,93 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+Mirrors the paper's presentation: execution-time tables with '×' for
+out-of-memory and '−' for budget/timeout cells, speedup summaries, and
+simple per-series listings for the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TextTable", "SeriesSet", "geomean", "format_speedup"]
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (0.0 for an empty list)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def format_speedup(x: float | None) -> str:
+    """Render a speedup factor ("3.4×"), or "n/a" for failed cells."""
+    return "n/a" if x is None else f"{x:.1f}×"
+
+
+@dataclass
+class TextTable:
+    """A column-aligned text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(f"row has {len(row)} cells, expected {len(self.columns)}")
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, sep, fmt(self.columns), sep]
+        out.extend(fmt(r) for r in self.rows)
+        out.append(sep)
+        for n in self.notes:
+            out.append(f"  note: {n}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass
+class SeriesSet:
+    """Named (x, y) series — the text stand-in for a paper figure."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[object, float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, series: str, x: object, y: float) -> None:
+        self.series.setdefault(series, []).append((x, y))
+
+    def render(self) -> str:
+        out = [self.title, f"  ({self.x_label} → {self.y_label})"]
+        for name, pts in self.series.items():
+            body = ", ".join(f"{x}: {y:.3g}" for x, y in pts)
+            out.append(f"  {name:<28s} {body}")
+        for n in self.notes:
+            out.append(f"  note: {n}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,108 @@
+"""Benchmark workload definitions.
+
+Maps the paper's evaluation setup (Sec. VIII-A) onto the stand-in
+datasets: which queries run on which graphs at which scale, how labeled
+queries get their labels (ten random labels, Dryadic protocol), and the
+exploration budgets that stand in for the paper's 8-hour timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph import load_dataset
+from repro.graph.csr import CSRGraph
+from repro.graph.labels import relabel_query_consistently
+from repro.pattern import get_query, query_names
+from repro.pattern.query import QueryGraph
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "labeled_query_for",
+    "queries_for_table2",
+    "queries_for_fig12",
+    "scale_for_query",
+    "DEFAULT_BUDGET",
+]
+
+# stands in for the paper's 8-hour timeout: a run that hits the budget
+# renders as '−' in the tables
+DEFAULT_BUDGET = 300_000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark cell: a graph, a query and the match semantics."""
+
+    graph: CSRGraph
+    query: QueryGraph
+    vertex_induced: bool = False
+    budget: int | None = DEFAULT_BUDGET
+
+    @property
+    def key(self) -> str:
+        sem = "vi" if self.vertex_induced else "ei"
+        lab = "lab" if self.query.is_labeled else "unl"
+        return f"{self.graph.name}/{self.query.name}/{sem}/{lab}"
+
+
+def _abstract_labels(query: QueryGraph, num_labels: int = 3) -> np.ndarray:
+    """Deterministic abstract label pattern for a query.
+
+    Seeded by a stable checksum of the query name (not the salted
+    built-in ``hash``), so labelings are identical across interpreter
+    runs and machines.
+    """
+    import zlib
+
+    seed = zlib.crc32(query.name.encode("utf-8"))
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_labels, size=query.size).astype(np.int32)
+
+
+def labeled_query_for(name: str, graph: CSRGraph, seed: int = 1) -> QueryGraph:
+    """The Table III protocol: attach labels to query ``name`` bound to
+    labels that actually occur in ``graph`` (most-frequent-first)."""
+    q = get_query(name)
+    abstract = _abstract_labels(q)
+    bound = relabel_query_consistently(abstract, graph, seed=seed)
+    return q.with_labels(bound)
+
+
+def scale_for_query(name: str) -> str:
+    """Graph scale per query size: size-5/6 queries run at the default
+    bench scale, the combinatorially heavier size-7 at the reduced one
+    (pure-Python enumeration budget; DESIGN.md §2)."""
+    q = get_query(name)
+    return "small" if q.size <= 6 else "tiny"
+
+
+def make_workload(
+    dataset: str,
+    query_name: str,
+    vertex_induced: bool = False,
+    labeled: bool = False,
+    scale: str | None = None,
+    budget: int | None = DEFAULT_BUDGET,
+) -> Workload:
+    """Build one benchmark workload cell."""
+    scale = scale or scale_for_query(query_name)
+    graph = load_dataset(dataset, scale=scale, labeled=labeled)
+    if labeled:
+        query = labeled_query_for(query_name, graph)
+    else:
+        query = get_query(query_name)
+    return Workload(graph=graph, query=query, vertex_induced=vertex_induced, budget=budget)
+
+
+def queries_for_table2(sizes: tuple[int, ...] = (5, 6, 7)) -> list[str]:
+    """Query names for Tables II/III, in paper order."""
+    return [n for n in query_names() if get_query(n).size in sizes]
+
+
+def queries_for_fig12() -> list[str]:
+    """Fig. 12 uses the labeled size-6 queries q9–q16."""
+    return query_names(size=6)

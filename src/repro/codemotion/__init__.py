@@ -1,0 +1,42 @@
+"""Loop-invariant code motion for matching plans (Sec. VII)."""
+
+from .analysis import (
+    attach_label_filters,
+    backward_ops,
+    build_program,
+    motioned_program,
+    naive_program,
+)
+from .depgraph import (
+    BaseKind,
+    CompactDependence,
+    OpKind,
+    SetOp,
+    SetProgram,
+    SetRecipe,
+)
+from .interp import CompactMatcher, count_matches_compact
+from .labeled import (
+    SharedMemoryFootprint,
+    shared_memory_footprint,
+    split_labeled_program,
+)
+
+__all__ = [
+    "BaseKind",
+    "OpKind",
+    "SetOp",
+    "SetRecipe",
+    "SetProgram",
+    "CompactDependence",
+    "backward_ops",
+    "naive_program",
+    "motioned_program",
+    "attach_label_filters",
+    "build_program",
+    "split_labeled_program",
+    "SharedMemoryFootprint",
+    "shared_memory_footprint",
+    "CompactMatcher",
+    "count_matches_compact",
+]

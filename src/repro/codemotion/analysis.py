@@ -1,0 +1,250 @@
+"""Loop-invariant code-motion analysis (Sec. VII).
+
+Builds :class:`~repro.codemotion.depgraph.SetProgram` objects for a
+matching-order-relabeled query:
+
+* :func:`naive_program` — what the un-optimized nested loop of Fig. 1
+  does: on entering level ``l`` recompute the whole candidate chain
+  ``N(m[i₁]) ∩ N(m[i₂]) ∩ … − N(m[j]) …`` from scratch.
+* :func:`motioned_program` — Dryadic-style code motion: every prefix of
+  every chain becomes an explicit set computed at the earliest level
+  where its operands are known, deduplicated across levels, so no set
+  operation is ever repeated inside an inner loop.  The result is a
+  single-op-per-set program, which is what the paper's compact
+  ``row_ptr``/``set_ops`` encoding (Fig. 9b) stores.
+
+Label filters (labeled queries) are attached by
+:func:`attach_label_filters`, producing the *merged* multi-label
+intermediate sets of Fig. 10b.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .depgraph import BaseKind, OpKind, SetOp, SetProgram, SetRecipe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
+    from repro.pattern.query import QueryGraph
+
+__all__ = [
+    "backward_ops",
+    "naive_program",
+    "motioned_program",
+    "attach_label_filters",
+    "build_program",
+]
+
+
+def backward_ops(query: QueryGraph, level: int, vertex_induced: bool) -> list[SetOp]:
+    """Canonical op chain for the candidates of matching position ``level``.
+
+    Intersections with the neighbor lists of earlier query neighbors;
+    for vertex-induced matching additionally differences with earlier
+    non-neighbors.  The chain is reordered so its base is the
+    smallest-position *intersection* (a difference cannot be a base) and
+    the remaining ops follow in ascending position order, which is the
+    canonical form the prefix-lifting of code motion operates on.
+    """
+    if level == 0:
+        return []
+    if query.directed:
+        # arc i→level constrains the candidate to out-neighbors of m[i];
+        # arc level→i to in-neighbors of m[i]; both arcs = both ops
+        if vertex_induced:
+            raise NotImplementedError(
+                "directed queries support edge-induced matching only "
+                "(the cuTS setting)"
+            )
+        inter = [
+            SetOp(OpKind.INTERSECT, i, inbound=False)
+            for i in range(level) if query.adj[i, level]
+        ] + [
+            SetOp(OpKind.INTERSECT, i, inbound=True)
+            for i in range(level) if query.adj[level, i]
+        ]
+        if not inter:
+            raise ValueError("matching order is not connected at level %d" % level)
+        inter.sort(key=lambda op: (op.position, op.inbound))
+        return inter
+    inter = [i for i in range(level) if query.adj[level, i]]
+    if not inter:
+        raise ValueError("matching order is not connected at level %d" % level)
+    diffs = [i for i in range(level) if not query.adj[level, i]] if vertex_induced else []
+    base = inter[0]
+    rest = sorted(
+        [SetOp(OpKind.INTERSECT, i) for i in inter[1:]]
+        + [SetOp(OpKind.DIFFERENCE, j) for j in diffs],
+        key=lambda op: op.position,
+    )
+    return [SetOp(OpKind.INTERSECT, base), *rest]
+
+
+def naive_program(query: QueryGraph, vertex_induced: bool = False) -> SetProgram:
+    """One multi-op set per level, recomputed on every entry (Fig. 1)."""
+    k = query.size
+    recipes: list[SetRecipe] = [
+        SetRecipe(base=BaseKind.ALL, base_arg=-1, ops=(), level=0, is_candidate_for=0)
+    ]
+    candidate_of_level = [0]
+    sets_at_level: list[list[int]] = [[0]] + [[] for _ in range(k - 1)]
+    for l in range(1, k):
+        chain = backward_ops(query, l, vertex_induced)
+        base = chain[0]
+        recipes.append(
+            SetRecipe(
+                base=BaseKind.NEIGHBORS,
+                base_arg=base.position,
+                base_inbound=base.inbound,
+                ops=tuple(chain[1:]),
+                level=l,
+                is_candidate_for=l,
+            )
+        )
+        sid = len(recipes) - 1
+        candidate_of_level.append(sid)
+        sets_at_level[l].append(sid)
+    prog = SetProgram(
+        recipes=recipes,
+        candidate_of_level=candidate_of_level,
+        sets_at_level=sets_at_level,
+        num_levels=k,
+    )
+    if query.is_labeled:
+        prog = attach_label_filters(prog, query)
+    return prog
+
+
+def motioned_program(query: QueryGraph, vertex_induced: bool = False) -> SetProgram:
+    """Prefix-lifted single-op program (the paper's Fig. 9a shape)."""
+    k = query.size
+    recipes: list[SetRecipe] = [
+        SetRecipe(base=BaseKind.ALL, base_arg=-1, ops=(), level=0, is_candidate_for=0)
+    ]
+    candidate_of_level = [0]
+    sets_at_level: list[list[int]] = [[0]] + [[] for _ in range(k - 1)]
+    # key: canonical prefix signature -> set id.  A signature is the base
+    # position followed by the (kind, position) ops applied so far.
+    prefix_ids: dict[tuple, int] = {}
+
+    def ensure_prefix(chain: list[SetOp], length: int) -> int:
+        """Create (or reuse) the set holding ``chain[:length]``."""
+        sig = tuple((op.kind, op.position, op.inbound) for op in chain[:length])
+        if sig in prefix_ids:
+            return prefix_ids[sig]
+        if length == 1:
+            # explicit copy of one neighbor list, computed right after
+            # its vertex is matched
+            pos = chain[0].position
+            recipe = SetRecipe(
+                base=BaseKind.NEIGHBORS, base_arg=pos, ops=(), level=pos + 1,
+                base_inbound=chain[0].inbound,
+            )
+        else:
+            dep = ensure_prefix(chain, length - 1)
+            op = chain[length - 1]
+            lvl = max(recipes[dep].level, op.position + 1)
+            recipe = SetRecipe(
+                base=BaseKind.REF, base_arg=dep, ops=(op,), level=lvl
+            )
+        recipes.append(recipe)
+        sid = len(recipes) - 1
+        prefix_ids[sig] = sid
+        sets_at_level[recipe.level].append(sid)
+        return sid
+
+    for l in range(1, k):
+        chain = backward_ops(query, l, vertex_induced)
+        sid = ensure_prefix(chain, len(chain))
+        # The full chain is the candidate set for level l.  If the set is
+        # shared (same chain also an interior prefix of another level, or
+        # candidate of two levels — impossible since levels differ, but a
+        # candidate chain may coincide with an intermediate), tag a copy.
+        if recipes[sid].is_candidate_for >= 0:
+            # already the candidate of an earlier level with the same
+            # chain — cannot happen for distinct connected levels, but a
+            # defensive alias keeps the invariant "one candidate tag per set"
+            recipe = recipes[sid]
+            alias = SetRecipe(
+                base=BaseKind.REF,
+                base_arg=sid,
+                ops=(),
+                level=recipe.level,
+                is_candidate_for=l,
+            )
+            recipes.append(alias)
+            sid = len(recipes) - 1
+            sets_at_level[recipe.level].append(sid)
+        else:
+            recipes[sid] = SetRecipe(
+                base=recipes[sid].base,
+                base_arg=recipes[sid].base_arg,
+                base_inbound=recipes[sid].base_inbound,
+                ops=recipes[sid].ops,
+                level=recipes[sid].level,
+                label_filter=recipes[sid].label_filter,
+                is_candidate_for=l,
+            )
+        candidate_of_level.append(sid)
+    prog = SetProgram(
+        recipes=recipes,
+        candidate_of_level=candidate_of_level,
+        sets_at_level=sets_at_level,
+        num_levels=k,
+    )
+    if query.is_labeled:
+        prog = attach_label_filters(prog, query)
+    return prog
+
+
+def attach_label_filters(program: SetProgram, query: QueryGraph) -> SetProgram:
+    """Assign merged multi-label filters (Fig. 10b).
+
+    Candidate sets get the singleton label of their query vertex;
+    intermediate sets get the union of their consumers' filters,
+    propagated bottom-up.  Because intersections and differences only
+    remove elements, pre-filtering a shared intermediate to the union of
+    consumer labels is sound, and the consumer re-filters to its own
+    singleton — exactly the paper's merging argument.
+    """
+    if query.labels is None:
+        raise ValueError("query is unlabeled")
+    n = program.num_sets
+    filters: list[set[int]] = [set() for _ in range(n)]
+    for l, sid in enumerate(program.candidate_of_level):
+        filters[sid].add(int(query.labels[l]))
+    # propagate to dependencies; ids are topologically ordered (REF points
+    # to a smaller id), so one reverse pass suffices
+    for sid in range(n - 1, -1, -1):
+        r = program.recipes[sid]
+        if r.base is BaseKind.REF:
+            filters[r.base_arg] |= filters[sid]
+    new_recipes = []
+    for sid, r in enumerate(program.recipes):
+        f = frozenset(filters[sid]) if filters[sid] else None
+        new_recipes.append(
+            SetRecipe(
+                base=r.base,
+                base_arg=r.base_arg,
+                base_inbound=r.base_inbound,
+                ops=r.ops,
+                level=r.level,
+                label_filter=f,
+                is_candidate_for=r.is_candidate_for,
+            )
+        )
+    return SetProgram(
+        recipes=new_recipes,
+        candidate_of_level=list(program.candidate_of_level),
+        sets_at_level=[list(x) for x in program.sets_at_level],
+        num_levels=program.num_levels,
+    )
+
+
+def build_program(
+    query: QueryGraph, vertex_induced: bool = False, code_motion: bool = True
+) -> SetProgram:
+    """Front door: naive or code-motioned program for a relabeled query."""
+    if code_motion:
+        return motioned_program(query, vertex_induced)
+    return naive_program(query, vertex_induced)

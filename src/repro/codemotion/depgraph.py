@@ -1,0 +1,320 @@
+"""Set-dependence graphs (Sec. VII, Figs. 9–10).
+
+A matching plan is compiled into a :class:`SetProgram`: a list of
+:class:`SetRecipe` nodes describing how each candidate / intermediate
+set is computed from neighbor lists of already-matched vertices and
+from other sets.  The STMatch engine, the baselines, and the code-motion
+analysis all speak this representation.
+
+A recipe is a chain ``base ∘ op₁ ∘ op₂ ∘ …`` where the base is the
+vertex universe (level 0), a neighbor list ``N(m[i])``, or a reference
+to another set, and every op intersects or subtracts a neighbor list.
+After code motion each recipe has at most one op (the paper's compact
+``set_ops`` triple encoding, :meth:`SetProgram.to_compact`); the naive
+program keeps whole chains at the level that consumes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BaseKind", "OpKind", "SetOp", "SetRecipe", "SetProgram", "CompactDependence"]
+
+
+class BaseKind(enum.Enum):
+    """What a set recipe starts from."""
+
+    ALL = "all"          # the vertex universe (level-0 candidates)
+    NEIGHBORS = "nbrs"   # N(m[base_arg])
+    REF = "ref"          # another set (code-motion dependency)
+
+
+class OpKind(enum.Enum):
+    """Binary set operation against a neighbor list."""
+
+    INTERSECT = "and"
+    DIFFERENCE = "sub"
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """One operation: combine with a neighbor list of ``m[position]``.
+
+    ``inbound`` selects the in-neighbor list (arcs *into* the matched
+    vertex) for directed queries; undirected plans always use False.
+    """
+
+    kind: OpKind
+    position: int  # matching-order position whose neighbor list is the operand
+    inbound: bool = False
+
+    def __repr__(self) -> str:
+        sym = "∩" if self.kind is OpKind.INTERSECT else "−"
+        n = "Nin" if self.inbound else "N"
+        return f"{sym}{n}({self.position})"
+
+
+@dataclass(frozen=True)
+class SetRecipe:
+    """How one set is computed.
+
+    Attributes
+    ----------
+    base / base_arg:
+        Starting value.  ``ALL`` ignores ``base_arg``; ``NEIGHBORS``
+        interprets it as a matching-order position; ``REF`` as a set id.
+    ops:
+        Operations applied in sequence (positions strictly increasing).
+    level:
+        The recursion level at which the set is computed — i.e. the
+        largest matching-order position it reads, plus one (0 for ALL).
+    label_filter:
+        Allowed vertex labels, or ``None`` for unlabeled plans.  Merged
+        multi-label sets (Fig. 10b) carry more than one label.
+    is_candidate_for:
+        Matching-order position whose candidates this set holds, or -1
+        for intermediate (lifted) sets.
+    """
+
+    base: BaseKind
+    base_arg: int
+    ops: tuple[SetOp, ...]
+    level: int
+    label_filter: frozenset[int] | None = None
+    is_candidate_for: int = -1
+    base_inbound: bool = False  # NEIGHBORS base reads the in-neighbor list
+
+    def __post_init__(self) -> None:
+        positions = [op.position for op in self.ops]
+        if positions != sorted(positions):
+            raise ValueError("op positions must be nondecreasing")
+        # at most two ops per position (one per arc direction)
+        for pos in set(positions):
+            dirs = [op.inbound for op in self.ops if op.position == pos]
+            if len(dirs) != len(set(dirs)):
+                raise ValueError("duplicate op on one position and direction")
+        reads = list(positions)
+        if self.base is BaseKind.NEIGHBORS:
+            reads.append(self.base_arg)
+        if reads and self.level < max(reads) + 1:
+            raise ValueError("set computed before its operands are matched")
+
+    @property
+    def reads_positions(self) -> tuple[int, ...]:
+        """Matching-order positions whose neighbor lists this recipe reads
+        directly (not through a REF)."""
+        r = [op.position for op in self.ops]
+        if self.base is BaseKind.NEIGHBORS:
+            r.insert(0, self.base_arg)
+        return tuple(r)
+
+    def __repr__(self) -> str:
+        if self.base is BaseKind.ALL:
+            b = "V"
+        elif self.base is BaseKind.NEIGHBORS:
+            b = f"N({self.base_arg})"
+        else:
+            b = f"S{self.base_arg}"
+        ops = "".join(repr(op) for op in self.ops)
+        lab = f" labels={sorted(self.label_filter)}" if self.label_filter is not None else ""
+        tgt = f" → C{self.is_candidate_for}" if self.is_candidate_for >= 0 else ""
+        return f"[{b}{ops} @L{self.level}{lab}{tgt}]"
+
+
+@dataclass
+class SetProgram:
+    """All sets of a matching plan, in dependence order.
+
+    Attributes
+    ----------
+    recipes:
+        Recipe per set id; a REF base always points to a smaller id.
+    candidate_of_level:
+        ``candidate_of_level[l]`` is the set id holding the candidates
+        for matching-order position ``l``.
+    sets_at_level:
+        ``sets_at_level[l]`` lists set ids (ascending, dependence-safe)
+        computed on *entering* level ``l``.
+    num_levels:
+        Query size.
+    """
+
+    recipes: list[SetRecipe]
+    candidate_of_level: list[int]
+    sets_at_level: list[list[int]]
+    num_levels: int
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        n = len(self.recipes)
+        if len(self.candidate_of_level) != self.num_levels:
+            raise ValueError("need one candidate set per level")
+        if len(self.sets_at_level) != self.num_levels:
+            raise ValueError("need a (possibly empty) set list per level")
+        scheduled = sorted(s for lvl in self.sets_at_level for s in lvl)
+        if scheduled != list(range(n)):
+            raise ValueError("every set must be scheduled exactly once")
+        for sid, r in enumerate(self.recipes):
+            if r.base is BaseKind.REF:
+                if not 0 <= r.base_arg < n:
+                    raise ValueError(f"set {sid}: dangling REF {r.base_arg}")
+                dep = self.recipes[r.base_arg]
+                if dep.level > r.level:
+                    raise ValueError(f"set {sid}: REF to set computed later")
+        for l, lvl in enumerate(self.sets_at_level):
+            for sid in lvl:
+                if self.recipes[sid].level != l:
+                    raise ValueError(f"set {sid} scheduled at wrong level")
+        for l, sid in enumerate(self.candidate_of_level):
+            r = self.recipes[sid]
+            if r.is_candidate_for != l:
+                raise ValueError(f"candidate set of level {l} mislabeled")
+            if r.level > l:
+                raise ValueError(f"candidates of level {l} computed too late")
+
+    @property
+    def num_sets(self) -> int:
+        return len(self.recipes)
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(r.ops) for r in self.recipes), default=0)
+
+    def consumers(self, set_id: int) -> list[int]:
+        """Set ids whose recipes REF ``set_id``."""
+        return [
+            sid for sid, r in enumerate(self.recipes)
+            if r.base is BaseKind.REF and r.base_arg == set_id
+        ]
+
+    def is_single_op(self) -> bool:
+        """True when every non-root recipe has exactly one op — the shape
+        code motion produces and the compact encoding requires."""
+        return all(
+            len(r.ops) <= 1 for r in self.recipes
+        )
+
+    # -- the paper's compact storage (Fig. 9b) --------------------------
+
+    def to_compact(self) -> "CompactDependence":
+        """Encode as ``row_ptr`` + ``set_ops`` triples (Fig. 9b).
+
+        Requires a code-motioned (single-op) program.  Each set becomes
+        ``(first_operand_flag, op_flag, dependency_index)`` exactly as in
+        the paper: flag 1 when ``N(m[level-1])`` is the first operand,
+        op flag 0 for intersection and 1 for difference, and the index
+        of the dependency set (-1 for the vertex universe).
+        """
+        if not self.is_single_op():
+            raise ValueError("compact encoding requires a code-motioned program")
+        if any(
+            r.base_inbound or any(op.inbound for op in r.ops) for r in self.recipes
+        ):
+            raise ValueError(
+                "compact encoding covers the paper's undirected plans; "
+                "directed programs carry per-op directions the triple "
+                "cannot express"
+            )
+        row_ptr = np.zeros(self.num_levels + 1, dtype=np.int32)
+        # (first_flag, op_flag, dep, operand_pos): the paper's triple plus
+        # an explicit operand position.  For edge-induced programs the
+        # operand is always N(v_{l-1}) (the pure Fig. 9b triple suffices,
+        # asserted by tests); vertex-induced chains may subtract neighbor
+        # lists of *earlier* positions lifted to the chain-start level,
+        # which needs the extra column — a documented encoding extension.
+        quads = np.zeros((self.num_sets, 4), dtype=np.int32)
+        order: list[int] = []
+        for l in range(self.num_levels):
+            row_ptr[l] = len(order)
+            order.extend(self.sets_at_level[l])
+        row_ptr[self.num_levels] = len(order)
+        pos_of = {sid: i for i, sid in enumerate(order)}
+        labels: list[frozenset[int] | None] = []
+        for sid in order:
+            r = self.recipes[sid]
+            i = pos_of[sid]
+            labels.append(r.label_filter)
+            if r.base is BaseKind.ALL and not r.ops:
+                quads[i] = (0, 0, -1, -1)
+                continue
+            if r.ops:
+                # single-op set: `dep ∘ N(operand)` — the lifted set is the
+                # first operand, so the paper's "N first" flag is 0
+                op = r.ops[0]
+                first_flag = 0
+                op_flag = 0 if op.kind is OpKind.INTERSECT else 1
+                operand_pos = op.position
+            elif r.base is BaseKind.REF:
+                # alias: two levels share one candidate chain (e.g. both
+                # are N(m[0])); a no-op copy of the dependency slot
+                first_flag = 0
+                op_flag = 0
+                operand_pos = -1
+            else:  # plain neighbor-list copy: C = N(v_{l-1}) → flag 1
+                first_flag = 1
+                op_flag = 0
+                operand_pos = r.base_arg
+            if r.base is BaseKind.REF:
+                dep = pos_of[r.base_arg]
+            elif r.base is BaseKind.ALL:
+                dep = -1
+            else:  # copy of a raw neighbor list: tag the position
+                dep = -2 - r.base_arg
+            quads[i] = (first_flag, op_flag, dep, operand_pos)
+        cand_slots = np.asarray(
+            [pos_of[sid] for sid in self.candidate_of_level], dtype=np.int32
+        )
+        return CompactDependence(
+            row_ptr=row_ptr,
+            set_ops=quads,
+            set_order=order,
+            candidate_slots=cand_slots,
+            label_filters=labels,
+        )
+
+
+@dataclass(frozen=True)
+class CompactDependence:
+    """The Fig. 9b arrays.  ``nbytes`` is what shared memory must hold —
+    the paper notes this is "only tens of bytes".
+
+    ``set_ops`` rows are ``(first_operand_flag, op_flag, dep,
+    operand_pos)``: flag 1 ⇒ the neighbor list is the first operand
+    (plain copies), op 0/1 ⇒ intersection/difference, ``dep`` ≥ 0 is a
+    compact slot, -1 the vertex universe, ≤ -2 the raw neighbor list of
+    position ``-2 - dep``; ``operand_pos`` is the matching-order
+    position whose neighbor list is the op's operand — always ``l-1``
+    for edge-induced programs (the paper's pure triple), possibly
+    earlier for lifted vertex-induced differences (our documented
+    extension).  ``candidate_slots[l]`` names the slot holding level
+    ``l``'s candidates; ``label_filters`` carries the merged multi-label
+    sets of labeled plans (Fig. 10b).
+    """
+
+    row_ptr: np.ndarray
+    set_ops: np.ndarray
+    set_order: list[int] = field(default_factory=list)
+    candidate_slots: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int32))
+    label_filters: list = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory bytes for the two Fig. 9b arrays proper."""
+        return int(self.row_ptr.nbytes + self.set_ops.nbytes)
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.row_ptr.size - 1)
+
+    @property
+    def num_sets(self) -> int:
+        return int(self.set_ops.shape[0])
+
+    def level_of_slot(self, slot: int) -> int:
+        """Recursion level at which compact ``slot`` is computed."""
+        return int(np.searchsorted(self.row_ptr, slot, side="right") - 1)

@@ -1,0 +1,138 @@
+"""Interpreter for the compact dependence encoding (Fig. 9b).
+
+``getCandidates`` on the real GPU reads *only* the ``row_ptr`` and
+``set_ops`` arrays from shared memory and performs set operations
+accordingly.  :class:`CompactMatcher` does exactly that: a matcher
+driven solely by a :class:`~repro.codemotion.depgraph.CompactDependence`
+(plus the per-level restriction/label metadata any matcher needs),
+never touching the original :class:`SetProgram`.
+
+Its purpose is validation: tests pin its counts to the reference oracle
+and to the STMatch engine, proving the compact arrays carry *all* the
+information the kernel needs — the paper's claim that the two arrays
+("tens of bytes") suffice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import MatchingPlan
+
+from .depgraph import CompactDependence
+
+__all__ = ["CompactMatcher", "count_matches_compact"]
+
+
+class CompactMatcher:
+    """Backtracking matcher executing the Fig. 9b encoding directly."""
+
+    def __init__(self, graph: CSRGraph, plan: MatchingPlan) -> None:
+        if not plan.code_motion:
+            raise ValueError("compact encoding requires a code-motioned plan")
+        self.graph = graph
+        self.plan = plan
+        self.compact: CompactDependence = plan.program.to_compact()
+        self.k = plan.size
+        self.m = np.full(self.k, -1, dtype=np.int64)
+        self.slots: list[np.ndarray | None] = [None] * self.compact.num_sets
+        self.count = 0
+        if plan.query.labels is not None:
+            self._level_label = [int(x) for x in plan.query.labels]
+        else:
+            self._level_label = [None] * self.k
+
+    # -- Fig. 9b slot evaluation ------------------------------------------
+
+    def _apply_label(self, arr: np.ndarray, slot: int) -> np.ndarray:
+        filters = self.compact.label_filters
+        flt = filters[slot] if slot < len(filters) else None
+        if flt is None or arr.size == 0:
+            return arr
+        labs = self.graph.labels
+        keep = np.isin(labs[arr], np.asarray(sorted(flt), dtype=labs.dtype))
+        return arr[keep]
+
+    def _compute_slot(self, slot: int, level: int) -> np.ndarray:
+        first_flag, op_flag, dep, operand_pos = (
+            int(x) for x in self.compact.set_ops[slot]
+        )
+        if dep == -1:  # vertex universe (level-0 candidates)
+            arr = np.arange(self.graph.num_vertices, dtype=np.int32)
+            return self._apply_label(arr, slot)
+        if dep <= -2:  # plain copy of N(position)
+            pos = -2 - dep
+            arr = self.graph.neighbors(int(self.m[pos])).copy()
+            return self._apply_label(arr, slot)
+        if operand_pos == -1:  # alias: copy of another slot
+            dep_set = self.slots[dep]
+            assert dep_set is not None
+            return self._apply_label(dep_set.copy(), slot)
+        # one set operation combining the dependency slot with N(operand)
+        nbrs = self.graph.neighbors(int(self.m[operand_pos]))
+        dep_set = self.slots[dep]
+        assert dep_set is not None, "dependency computed at an earlier level"
+        if op_flag == 0:  # intersection: operand order irrelevant
+            arr = np.intersect1d(dep_set, nbrs, assume_unique=True)
+        elif first_flag:  # N(v_{l-1}) − dep
+            arr = np.setdiff1d(nbrs, dep_set, assume_unique=True)
+        else:  # dep − N(v_{l-1})
+            arr = np.setdiff1d(dep_set, nbrs, assume_unique=True)
+        return self._apply_label(arr, slot)
+
+    def _enter_level(self, level: int) -> None:
+        """Compute every slot scheduled at ``level`` (the row_ptr range)."""
+        lo = int(self.compact.row_ptr[level])
+        hi = int(self.compact.row_ptr[level + 1])
+        for slot in range(lo, hi):
+            self.slots[slot] = self._compute_slot(slot, level)
+
+    def _candidates(self, level: int) -> np.ndarray:
+        slot = int(self.compact.candidate_slots[level])
+        raw = self.slots[slot]
+        assert raw is not None
+        arr = raw
+        lab = self._level_label[level]
+        if lab is not None and arr.size:
+            arr = arr[self.graph.labels[arr] == lab]
+        floor = self.plan.restriction_floor(level, self.m)
+        if floor >= 0 and arr.size:
+            arr = arr[np.searchsorted(arr, floor, side="right"):]
+        if level >= 1 and arr.size:
+            used = np.asarray(self.m[:level], dtype=arr.dtype)
+            keep = np.isin(arr, used, invert=True)
+            if not keep.all():
+                arr = arr[keep]
+        return arr
+
+    # -- recursion ----------------------------------------------------------
+
+    def run(self) -> int:
+        self.count = 0
+        self._enter_level(0)
+        roots = self._candidates(0)
+        if self.k == 1:
+            self.count = int(roots.size)
+            return self.count
+        for v in roots:
+            self.m[0] = int(v)
+            self._recurse(1)
+        self.m[0] = -1
+        return self.count
+
+    def _recurse(self, level: int) -> None:
+        self._enter_level(level)
+        cand = self._candidates(level)
+        if level == self.k - 1:
+            self.count += int(cand.size)
+            return
+        for v in cand:
+            self.m[level] = int(v)
+            self._recurse(level + 1)
+        self.m[level] = -1
+
+
+def count_matches_compact(graph: CSRGraph, plan: MatchingPlan) -> int:
+    """Count matches executing only the compact Fig. 9b arrays."""
+    return CompactMatcher(graph, plan).run()

@@ -1,0 +1,118 @@
+"""Labeled code motion: split vs merged intermediate sets (Fig. 10).
+
+The original Dryadic technique (Fig. 10a) splits every intermediate set
+per consumer label, which needs at least ``n(n-1)/2`` sets for an
+``n``-vertex query — too many ``Csize`` slots for GPU shared memory.
+STMatch's fix (Fig. 10b) merges the per-label copies split from the
+same unlabeled set into one multi-label set.
+
+:mod:`repro.codemotion.analysis` produces the merged form directly;
+this module provides the *split* form for comparison, plus the
+shared-memory accounting used by the Fig. 10 discussion and the
+design-choice ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .depgraph import BaseKind, SetProgram, SetRecipe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
+    from repro.pattern.query import QueryGraph
+
+__all__ = ["split_labeled_program", "SharedMemoryFootprint", "shared_memory_footprint"]
+
+
+def split_labeled_program(program: SetProgram, query: QueryGraph) -> SetProgram:
+    """Expand merged multi-label intermediates into per-label copies.
+
+    Reproduces the Fig. 10a layout: each intermediate set that carries
+    ``k > 1`` labels is duplicated into ``k`` single-label sets, and
+    every consumer is rewired to the copy matching (the union of) its
+    own labels.  Candidate sets are single-label already and are kept.
+    """
+    if query.labels is None:
+        raise ValueError("query is unlabeled")
+    recipes = program.recipes
+    # merged filters already equal the union of every consumer's label
+    # needs (attach_label_filters), so the split materializes exactly one
+    # single-label copy per label in each merged filter; REF consumers of
+    # label x rewire to the dependency's label-x copy, which always
+    # exists because dependency filters are supersets of consumer filters
+    new_recipes: list[SetRecipe] = []
+    new_id: dict[tuple[int, int | None], int] = {}
+    sets_at_level: list[list[int]] = [[] for _ in range(program.num_levels)]
+
+    def add(recipe: SetRecipe) -> int:
+        new_recipes.append(recipe)
+        sid = len(new_recipes) - 1
+        sets_at_level[recipe.level].append(sid)
+        return sid
+
+    candidate_of_level = [-1] * program.num_levels
+    # ids are topologically ordered, so process ascending and split as we go
+    for old_sid, r in enumerate(recipes):
+        labels: list[int | None]
+        labels = sorted(r.label_filter) if r.label_filter is not None else [None]
+        for lab in labels:
+            if r.base is BaseKind.REF:
+                base_arg = new_id[(r.base_arg, lab)]
+            else:
+                base_arg = r.base_arg
+            flt = None if lab is None else frozenset({lab})
+            # the copy matching the candidate's own label keeps the tag;
+            # other label copies become plain intermediates
+            cand_for = -1
+            if r.is_candidate_for >= 0 and lab == int(query.labels[r.is_candidate_for]):
+                cand_for = r.is_candidate_for
+            sid = add(
+                SetRecipe(
+                    base=r.base,
+                    base_arg=base_arg,
+                    base_inbound=r.base_inbound,
+                    ops=r.ops,
+                    level=r.level,
+                    label_filter=flt,
+                    is_candidate_for=cand_for,
+                )
+            )
+            new_id[(old_sid, lab)] = sid
+            if cand_for >= 0:
+                candidate_of_level[cand_for] = sid
+    return SetProgram(
+        recipes=new_recipes,
+        candidate_of_level=candidate_of_level,
+        sets_at_level=sets_at_level,
+        num_levels=program.num_levels,
+    )
+
+
+@dataclass(frozen=True)
+class SharedMemoryFootprint:
+    """Per-warp shared-memory bytes implied by a program's set count.
+
+    The paper stores ``Csize``, ``iter`` and ``uiter`` for every set of
+    every unrolled iteration in shared memory; the candidate payload
+    ``C`` itself lives in global memory.
+    """
+
+    num_sets: int
+    unroll: int
+    csize_bytes: int
+    iter_bytes: int
+    total_bytes: int
+
+
+def shared_memory_footprint(program: SetProgram, unroll: int = 8, elem_bytes: int = 4) -> SharedMemoryFootprint:
+    """Shared-memory bytes per warp for ``program`` at a given unroll size."""
+    csize = program.num_sets * unroll * elem_bytes
+    iters = program.num_levels * 2 * elem_bytes  # iter + uiter per level
+    return SharedMemoryFootprint(
+        num_sets=program.num_sets,
+        unroll=unroll,
+        csize_bytes=csize,
+        iter_bytes=iters,
+        total_bytes=csize + iters,
+    )

@@ -1,0 +1,34 @@
+"""STMatch core: the stack-based matching engine and its optimizations."""
+
+from .candidates import CandidateComputer
+from .config import EngineConfig
+from .counters import RunResult, RunStatus
+from .distributed import DistributedResult, NetworkModel, run_distributed
+from .engine import STMatchEngine
+from .kernel import ChunkIterator, KernelState, WarpTask, run_kernel
+from .multi_gpu import MultiGpuResult, run_multi_gpu
+from .stack import Frame, StolenWork, WarpStack, divide_and_copy
+from .stealing import GlobalStealBoard, select_local_target
+
+__all__ = [
+    "STMatchEngine",
+    "EngineConfig",
+    "RunResult",
+    "RunStatus",
+    "CandidateComputer",
+    "ChunkIterator",
+    "KernelState",
+    "WarpTask",
+    "run_kernel",
+    "MultiGpuResult",
+    "run_multi_gpu",
+    "DistributedResult",
+    "NetworkModel",
+    "run_distributed",
+    "Frame",
+    "WarpStack",
+    "StolenWork",
+    "divide_and_copy",
+    "GlobalStealBoard",
+    "select_local_target",
+]

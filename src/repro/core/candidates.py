@@ -1,0 +1,251 @@
+"""Candidate-set computation — ``getCandidates`` (Figs. 3, 4, 7, 8).
+
+The :class:`CandidateComputer` evaluates a plan's set program for one
+warp on frame entry: for each set scheduled at the entered level it
+resolves the base (neighbor list, earlier set, or vertex universe),
+performs the (warp-combined, Fig. 8) intersections/differences for all
+unrolled slots at once, applies merged label filters, and finally
+builds the *filtered* per-slot candidate arrays (injectivity +
+symmetry-breaking floor) the kernel loop iterates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codemotion.depgraph import BaseKind, OpKind
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import MatchingPlan
+from repro.virtgpu.setops import combined_set_op
+from repro.virtgpu.warp import Warp
+
+from .config import EngineConfig
+from .stack import Frame, WarpStack
+
+__all__ = ["CandidateComputer"]
+
+_EMPTY = np.empty(0, dtype=np.int32)
+
+
+class CandidateComputer:
+    """Evaluates ``getCandidates`` for one (graph, plan, config) triple.
+
+    Instances are shared by all warps of an engine run; they hold only
+    immutable precomputed state (label lookup tables, the root
+    candidate list), so sharing is safe.
+    """
+
+    def __init__(self, graph: CSRGraph, plan: MatchingPlan, config: EngineConfig) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.config = config
+        self.program = plan.program
+        # effective slot capacity: the paper sizes C's slots by
+        # MAX_DEGREE and spills rarer, longer sets to host memory
+        self.slot_capacity = min(config.max_degree, max(graph.max_degree(), 1))
+        # label lookup tables: one boolean LUT per distinct filter
+        self._label_luts: dict[frozenset[int], np.ndarray] = {}
+        if graph.is_labeled:
+            num_labels = graph.num_labels
+            for r in self.program.recipes:
+                if r.label_filter is not None and r.label_filter not in self._label_luts:
+                    lut = np.zeros(max(num_labels, max(r.label_filter) + 1), dtype=bool)
+                    for lab in r.label_filter:
+                        lut[lab] = True
+                    self._label_luts[r.label_filter] = lut
+        self.root_candidates = self._build_root_candidates()
+        # per-level singleton label (labeled plans): a candidate set that
+        # also feeds deeper sets carries a *merged* multi-label filter
+        # (Fig. 10b), so iteration must re-filter to the level's own label
+        if plan.query.labels is not None:
+            self._level_label: list[int | None] = [int(x) for x in plan.query.labels]
+        else:
+            self._level_label = [None] * plan.size
+        # degree-filter extension: candidate degree must reach the query
+        # vertex's degree (in+out for directed queries)
+        if config.degree_filter:
+            q = plan.query
+            self._degree_need = [
+                int(q.adj[l].sum() + (q.adj[:, l].sum() if q.directed else 0))
+                for l in range(plan.size)
+            ]
+            self._graph_degree = graph.degree()
+            if graph.directed:
+                self._graph_degree = (
+                    self._graph_degree + graph.reversed_view().degree()
+                )
+        else:
+            self._degree_need = None
+            self._graph_degree = None
+
+    # -- roots -------------------------------------------------------------
+
+    def _build_root_candidates(self) -> np.ndarray:
+        root_recipe = self.program.recipes[self.program.candidate_of_level[0]]
+        verts = np.arange(self.graph.num_vertices, dtype=np.int32)
+        verts = self._apply_label_filter(verts, root_recipe.label_filter)
+        if self.config.degree_filter and verts.size:
+            q = self.plan.query
+            need = int(q.adj[0].sum() + (q.adj[:, 0].sum() if q.directed else 0))
+            if need > 1:
+                deg = self.graph.degree()
+                if self.graph.directed:
+                    deg = deg + self.graph.reversed_view().degree()
+                verts = verts[deg[verts] >= need]
+        return verts
+
+    def root_frame(self, chunk: np.ndarray) -> Frame:
+        """Level-0 frame over one chunk of the global vertex range."""
+        sid0 = self.program.candidate_of_level[0]
+        return Frame(
+            level=0,
+            slot_vertices=np.empty(0, dtype=np.int32),
+            cand=[chunk],
+            sets={sid0: [chunk]},
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _apply_label_filter(self, arr: np.ndarray, flt: frozenset[int] | None) -> np.ndarray:
+        if flt is None or arr.size == 0:
+            return arr
+        if self.graph.labels is None:
+            raise ValueError("labeled plan on unlabeled data graph")
+        lut = self._label_luts[flt]
+        return arr[lut[self.graph.labels[arr]]]
+
+    def _charge_spill(self, warp: Warp | None, arrays: list[np.ndarray]) -> None:
+        """Host-memory penalty for sets longer than the slot capacity."""
+        if warp is None:
+            return
+        cap = self.slot_capacity
+        over = sum(max(0, a.size - cap) for a in arrays)
+        if over:
+            warp.charge(warp.cost.host_access * warp.cost.rounds(over))
+
+    def _resolve_operand(
+        self,
+        position: int,
+        level: int,
+        m_prefix: list[int],
+        slot_vertex: int,
+        inbound: bool = False,
+    ) -> np.ndarray:
+        """Out- (or in-) neighbor list of the vertex matched at
+        ``position``."""
+        v = slot_vertex if position == level - 1 else m_prefix[position]
+        if inbound:
+            return self.graph.in_neighbors(v)
+        return self.graph.neighbors(v)
+
+    # -- frame entry -----------------------------------------------------
+
+    def compute_frame(
+        self,
+        warp: Warp | None,
+        stack: WarpStack,
+        level: int,
+        slot_vertices: np.ndarray,
+    ) -> Frame:
+        """Build the frame entered at ``level`` for a batch of slots.
+
+        ``slot_vertices`` are the candidates of position ``level - 1``
+        being matched (one per unrolled slot); ``stack`` holds frames
+        ``0 .. level-1`` (the new frame is not pushed yet).
+        """
+        nslots = int(slot_vertices.size)
+        if nslots == 0:
+            raise ValueError("a frame needs at least one slot")
+        m_prefix = stack.match_up_to(level - 1)  # positions 0..level-2
+        frame_sets: dict[int, list[np.ndarray]] = {}
+
+        def set_data(sid: int, slot: int) -> np.ndarray:
+            """Resolve set ``sid`` for ``slot`` of the frame being built."""
+            r = self.program.recipes[sid]
+            if r.level == level:
+                return frame_sets[sid][slot]
+            return stack.frames[r.level].set_instance(sid)
+
+        for sid in self.program.sets_at_level[level]:
+            r = self.program.recipes[sid]
+            # bases per slot
+            if r.base is BaseKind.NEIGHBORS:
+                bases = [
+                    self._resolve_operand(r.base_arg, level, m_prefix,
+                                          int(slot_vertices[u]), r.base_inbound)
+                    for u in range(nslots)
+                ]
+            elif r.base is BaseKind.REF:
+                bases = [set_data(r.base_arg, u) for u in range(nslots)]
+            else:  # ALL only appears at level 0, handled by root_frame
+                raise AssertionError("ALL base outside the root frame")
+            current = bases
+            if not r.ops:
+                # explicit neighbor-list copy into C (e.g. C1 = N(v0))
+                current = [self._apply_label_filter(b.copy(), r.label_filter) for b in bases]
+                if warp is not None:
+                    warp.charge_copy(sum(c.size for c in bases))
+            else:
+                for op in r.ops:
+                    operands = [
+                        self._resolve_operand(op.position, level, m_prefix,
+                                              int(slot_vertices[u]), op.inbound)
+                        for u in range(nslots)
+                    ]
+                    diff = [op.kind is OpKind.DIFFERENCE] * nslots
+                    current = combined_set_op(warp, current, operands, diff)
+                current = [self._apply_label_filter(c, r.label_filter) for c in current]
+            self._charge_spill(warp, current)
+            frame_sets[sid] = current
+
+        # filtered candidate arrays for position `level`
+        sid_c = self.program.candidate_of_level[level]
+        r_c = self.program.recipes[sid_c]
+        cand: list[np.ndarray] = []
+        total_filtered = 0
+        for u in range(nslots):
+            if r_c.level == level:
+                raw = frame_sets[sid_c][u]
+            else:
+                raw = stack.frames[r_c.level].set_instance(sid_c)
+            cand.append(self._filter_candidates(raw, level, m_prefix, int(slot_vertices[u])))
+            total_filtered += raw.size
+        if warp is not None and total_filtered:
+            warp.charge_filter(total_filtered)
+        return Frame(
+            level=level,
+            slot_vertices=np.asarray(slot_vertices, dtype=np.int32),
+            cand=cand,
+            sets=frame_sets,
+        )
+
+    def _filter_candidates(
+        self, raw: np.ndarray, level: int, m_prefix: list[int], slot_vertex: int
+    ) -> np.ndarray:
+        """Apply the level's label, injectivity, and the symmetry floor."""
+        arr = raw
+        lab = self._level_label[level]
+        if lab is not None and arr.size:
+            arr = arr[self.graph.labels[arr] == lab]
+        if self._degree_need is not None and arr.size:
+            need = self._degree_need[level]
+            if need > 1:
+                arr = arr[self._graph_degree[arr] >= need]
+        # symmetry-breaking: candidate id must exceed every restricted
+        # earlier match; candidate arrays are sorted, so slice
+        floor = -1
+        for i in self.plan.restrictions[level]:
+            v = slot_vertex if i == level - 1 else m_prefix[i]
+            if v > floor:
+                floor = v
+        if floor >= 0 and arr.size:
+            arr = arr[np.searchsorted(arr, floor, side="right"):]
+        # injectivity: drop already-matched vertices
+        if arr.size:
+            used = m_prefix + [slot_vertex] if level >= 1 else m_prefix
+            if used:
+                mask = np.isin(arr, np.asarray(used, dtype=arr.dtype),
+                               assume_unique=False, invert=True)
+                if not mask.all():
+                    arr = arr[mask]
+        return arr

@@ -1,0 +1,103 @@
+"""Engine configuration (the paper's tunables, Sec. VIII-A).
+
+Defaults follow the paper's settings: ``StopLevel = 2``,
+``DetectLevel = 1``, ``UNROLL = 8``, ``MAX_DEGREE = 4096``.  Feature
+flags correspond to the ablation variants of Fig. 12: ``naive``
+(no stealing, no unrolling), ``localsteal``, ``local+globalsteal`` and
+``unroll+local+globalsteal``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.virtgpu.device import DeviceConfig
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All knobs of the STMatch engine.
+
+    Attributes
+    ----------
+    unroll:
+        Loop-unrolling size (Sec. VI); 1 disables unrolling.
+    stop_level:
+        Deepest stack level whose candidates work stealing may divide
+        (``StopLevel`` in Algorithm 2).
+    detect_level:
+        The ``steal_across_block`` check fires when a warp enters a
+        level ≤ this (``DetectLevel``, Sec. V-B).  The paper's setting
+        (1, with checks on re-entering the root loop) never fires when a
+        warp stays inside one huge root subtree, so this adaptation
+        checks on *descents into* shallow levels instead; the default of
+        2 matches ``stop_level`` — push checks happen exactly where
+        divisible work lives.
+    max_degree:
+        Candidate-slot capacity; longer sets spill to host memory at a
+        cost penalty (Sec. VIII-A).
+    chunk_size:
+        Root-level vertices a warp grabs per global-counter fetch (Fig. 4).
+    local_steal / global_steal:
+        The two levels of work stealing (Sec. V).
+    code_motion:
+        Compile plans with loop-invariant code motion (Sec. VII).
+    device:
+        Virtual device shape.
+    max_results:
+        Optional exploration budget: the engine stops after counting
+        this many matches (benchmarks use it to bound the huge sparse
+        queries; ``None`` = exhaustive).
+    """
+
+    unroll: int = 8
+    stop_level: int = 2
+    detect_level: int = 2
+    max_degree: int = 4096
+    chunk_size: int = 4
+    local_steal: bool = True
+    global_steal: bool = True
+    code_motion: bool = True
+    device: DeviceConfig = DeviceConfig()
+    max_results: int | None = None
+    degree_filter: bool = False
+    #   optional pruning extension (not in the paper): drop candidates
+    #   whose data-graph degree is below their query vertex's degree — a
+    #   necessary condition under both matching semantics, so counts are
+    #   unchanged (asserted by tests) while subtrees shrink
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise ValueError("unroll must be >= 1")
+        if self.stop_level < 0:
+            raise ValueError("stop_level must be >= 0")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.max_degree < 1:
+            raise ValueError("max_degree must be >= 1")
+
+    # -- ablation variants (Fig. 12) --------------------------------------
+
+    @classmethod
+    def naive(cls, **kw) -> "EngineConfig":
+        """No stealing, no unrolling (still code-motioned, as in Fig. 12)."""
+        return cls(unroll=1, local_steal=False, global_steal=False, **kw)
+
+    @classmethod
+    def localsteal(cls, **kw) -> "EngineConfig":
+        return cls(unroll=1, local_steal=True, global_steal=False, **kw)
+
+    @classmethod
+    def local_global_steal(cls, **kw) -> "EngineConfig":
+        return cls(unroll=1, local_steal=True, global_steal=True, **kw)
+
+    @classmethod
+    def full(cls, **kw) -> "EngineConfig":
+        """unroll + local + global stealing — the headline configuration."""
+        return cls(**kw)
+
+    def with_(self, **kw) -> "EngineConfig":
+        """Functional update (convenience for sweeps)."""
+        return replace(self, **kw)

@@ -1,0 +1,87 @@
+"""Run results and profiling counters.
+
+Every engine in the library (STMatch, cuTS, GSI, Dryadic, reference)
+returns a :class:`RunResult`, which carries the match count, the
+simulated time, and the profile counters behind Figs. 12–13
+(occupancy, thread utilization, steal counts).  A failed run (OOM,
+timeout/budget) is still a result — the benchmark tables render it as
+'×' / '−' like the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.virtgpu.warp import WarpCounters
+
+__all__ = ["RunResult", "RunStatus"]
+
+
+class RunStatus:
+    """String constants for run outcomes (paper table cell semantics)."""
+
+    OK = "ok"
+    OOM = "oom"          # '×' in the paper's tables
+    BUDGET = "budget"    # exploration budget hit ('−' timeout analog)
+    UNSUPPORTED = "unsupported"  # e.g. cuTS on vertex-induced queries
+
+
+@dataclass
+class RunResult:
+    """Outcome of one matching run.
+
+    Attributes
+    ----------
+    system:
+        Engine name (``stmatch``, ``cuts``, ``gsi``, ``dryadic``...).
+    matches:
+        Matches counted (exact when ``status == OK``; a lower bound when
+        the exploration budget was hit).
+    sim_ms:
+        Simulated milliseconds from the cost model.
+    cycles:
+        Simulated device cycles (makespan).
+    status:
+        One of :class:`RunStatus`.
+    counters:
+        Aggregated warp counters (GPU engines) — basis for utilization.
+    occupancy / thread_utilization:
+        Device-level metrics (Figs. 12–13).
+    num_local_steals / num_global_steals:
+        Work-stealing event counts.
+    detail:
+        Free-form diagnostic info (e.g. the OOM allocation site).
+    """
+
+    system: str
+    matches: int = 0
+    sim_ms: float = 0.0
+    cycles: float = 0.0
+    status: str = RunStatus.OK
+    counters: WarpCounters = field(default_factory=WarpCounters)
+    occupancy: float = 0.0
+    thread_utilization: float = 0.0
+    num_local_steals: int = 0
+    num_global_steals: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RunStatus.OK
+
+    def cell(self, digits: int = 1) -> str:
+        """Render as a paper-style table cell."""
+        if self.status == RunStatus.OOM:
+            return "×"
+        if self.status == RunStatus.BUDGET:
+            return "−"
+        if self.status == RunStatus.UNSUPPORTED:
+            return "n/a"
+        return f"{self.sim_ms:.{digits}f}"
+
+    def speedup_over(self, other: "RunResult") -> float | None:
+        """This engine's speedup relative to ``other`` (None if either
+        run failed or this run took no simulated time)."""
+        if not (self.ok and other.ok) or self.sim_ms <= 0:
+            return None
+        return other.sim_ms / self.sim_ms

@@ -1,0 +1,171 @@
+"""STMatch public engine API.
+
+:class:`STMatchEngine` is the library's front door: give it a data
+graph and (optionally) an :class:`~repro.core.config.EngineConfig`,
+then ``run`` or ``count`` queries.  One ``run`` = one virtual-GPU
+kernel launch — the stack-based design needs no per-level
+synchronization (Sec. IV), which is the paper's core claim.
+
+STMatch's memory footprint is *fixed* per launch (Sec. VIII-A): the
+candidate stack ``C`` is ``NUM_SETS × UNROLL × MAX_DEGREE × NUM_WARPS``
+in global memory and the small ``Csize``/``iter``/``uiter`` arrays live
+in shared memory; both are charged against the device capacities here,
+so the "STMatch never OOMs where cuTS/GSI do" contrast is enforced by
+the same accounting, not assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import MatchingPlan, build_plan
+from repro.pattern.query import QueryGraph
+from repro.virtgpu.device import VirtualDevice
+from repro.virtgpu.memory import DeviceOOMError
+
+from .candidates import CandidateComputer
+from .config import EngineConfig
+from .counters import RunResult, RunStatus
+from .kernel import run_kernel
+
+__all__ = ["STMatchEngine"]
+
+
+class STMatchEngine:
+    """Stack-based graph pattern matching on the virtual GPU.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (labeled or not).
+    config:
+        Engine configuration; defaults to the paper's settings
+        (UNROLL=8, StopLevel=2, DetectLevel=1, both steal levels on,
+        code motion on).
+    """
+
+    name = "stmatch"
+
+    def __init__(self, graph: CSRGraph, config: EngineConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(
+        self,
+        query: QueryGraph,
+        vertex_induced: bool = False,
+        symmetry_breaking: bool = True,
+        order: Sequence[int] | None = None,
+        order_strategy: str = "greedy",
+    ) -> MatchingPlan:
+        """Compile ``query`` against this engine's graph and config."""
+        return build_plan(
+            query,
+            data_graph=self.graph,
+            vertex_induced=vertex_induced,
+            symmetry_breaking=symmetry_breaking,
+            code_motion=self.config.code_motion,
+            order=order,
+            order_strategy=order_strategy,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        query: QueryGraph | MatchingPlan,
+        vertex_induced: bool = False,
+        symmetry_breaking: bool = True,
+        order: Sequence[int] | None = None,
+        on_match: Callable[[tuple[int, ...]], None] | None = None,
+        root_range: tuple[int, int] | None = None,
+        root_partition: tuple[int, int] | None = None,
+        device: VirtualDevice | None = None,
+    ) -> RunResult:
+        """Match ``query`` (or a prebuilt plan); returns a RunResult.
+
+        ``on_match`` receives each match as a tuple of data vertices in
+        matching-order positions (slow path — counting is vectorized
+        when no callback is given).  ``root_range`` restricts the root
+        vertex range to a contiguous slice; ``root_partition = (owner,
+        num_owners)`` shards it round-robin (multi-GPU splitting).
+        """
+        if isinstance(query, MatchingPlan):
+            plan = query
+        else:
+            plan = self.plan(
+                query,
+                vertex_induced=vertex_induced,
+                symmetry_breaking=symmetry_breaking,
+                order=order,
+            )
+        cfg = self.config
+        dev = device or VirtualDevice(cfg.device)
+        computer = CandidateComputer(self.graph, plan, cfg)
+        try:
+            self._allocate_fixed_memory(dev, plan, computer)
+        except DeviceOOMError as e:
+            return RunResult(system=self.name, status=RunStatus.OOM, detail=str(e))
+
+        if plan.size == 1:
+            # degenerate single-vertex query: the roots are the matches
+            roots = computer.root_candidates
+            n = int(roots.size)
+            if on_match is not None:
+                for v in roots:
+                    on_match((int(v),))
+            return RunResult(system=self.name, matches=n,
+                             sim_ms=dev.cost.to_ms(dev.cost.kernel_launch),
+                             cycles=dev.cost.kernel_launch)
+
+        state = run_kernel(
+            plan, cfg, computer, dev, root_range=root_range,
+            root_partition=root_partition, on_match=on_match,
+        )
+        agg = dev.total_counters()
+        status = RunStatus.BUDGET if state.stop_flag else RunStatus.OK
+        return RunResult(
+            system=self.name,
+            matches=state.matches,
+            sim_ms=dev.makespan_ms(),
+            cycles=dev.makespan_cycles(),
+            status=status,
+            counters=agg,
+            occupancy=dev.occupancy(),
+            thread_utilization=dev.thread_utilization(),
+            num_local_steals=state.num_local_steals,
+            num_global_steals=state.num_global_steals,
+        )
+
+    def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
+        """Match count only (raises on OOM)."""
+        res = self.run(query, **kw)
+        if res.status == RunStatus.OOM:
+            raise DeviceOOMError("stmatch", 0, 0, 0)
+        return res.matches
+
+    # -- memory accounting ---------------------------------------------------
+
+    def _allocate_fixed_memory(
+        self, device: VirtualDevice, plan: MatchingPlan, computer: CandidateComputer
+    ) -> None:
+        """Charge STMatch's fixed footprint against the device."""
+        cfg = self.config
+        elem = 4  # int32 vertex ids
+        # the data graph itself (CSR) lives in global memory
+        graph_bytes = int(self.graph.indices.nbytes + self.graph.indptr.nbytes)
+        if self.graph.labels is not None:
+            graph_bytes += int(self.graph.labels.nbytes)
+        device.global_mem.alloc(graph_bytes, tag="graph")
+        # candidate stacks: NUM_SETS × UNROLL × slot × warps (Sec. VIII-A)
+        c_bytes = (
+            plan.num_sets * cfg.unroll * computer.slot_capacity * elem * device.num_warps
+        )
+        device.global_mem.alloc(c_bytes, tag="stmatch.C")
+        # per-block shared memory: Csize + iter/uiter per warp
+        per_warp = plan.num_sets * cfg.unroll * elem + plan.size * 2 * elem
+        for shared in device.shared_mem:
+            shared.alloc(per_warp * cfg.device.warps_per_block, tag="stmatch.stack")

@@ -1,0 +1,356 @@
+"""The STMatch warp kernel (Figs. 3 and 7) on the virtual GPU.
+
+Every warp runs the same stack-machine loop:
+
+* stack empty → grab the next chunk of root vertices from the global
+  atomic counter (Fig. 4); when the counter is exhausted, spin: retry a
+  local steal from sibling warps each poll (Sec. V-A), mark the block's
+  ``is_idle`` bitmap, and watch the block's ``global_stks`` slot for a
+  pushed stack (Sec. V-B).  Each poll costs idle cycles, so spinning
+  warps advance their clocks exactly like hardware spin-waits.
+* top frame has unconsumed candidates → take the next ``UNROLL`` of
+  them, batch-compute the next level's sets with one combined set
+  operation per recipe (Fig. 8), and either push the new frame or — at
+  the last level — count/emit its candidates as matches.
+* top frame exhausted → advance to the next unrolled slot, or pop.
+
+Termination is exact: a spinning warp finishes when the root counter is
+exhausted and no warp holds a nonempty stack (tracked by
+``KernelState.active_count``), which is when the real kernel's global
+done flag would flip.  The whole query is one kernel launch — the
+paper's core contrast with subgraph-centric systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pattern.plan import MatchingPlan
+from repro.virtgpu.device import VirtualDevice
+from repro.virtgpu.scheduler import EventScheduler, StepResult
+
+from .candidates import CandidateComputer
+from .config import EngineConfig
+from .stack import Frame, WarpStack, divide_and_copy
+from .stealing import GlobalStealBoard, select_local_target
+
+__all__ = ["ChunkIterator", "KernelState", "WarpTask", "run_kernel"]
+
+MatchCallback = Callable[[tuple[int, ...]], None]
+
+
+class ChunkIterator:
+    """The global atomic counter distributing root vertices (Fig. 4).
+
+    Multi-device runs shard the counter round-robin: device ``owner`` of
+    ``num_owners`` serves every ``num_owners``-th chunk, which spreads
+    hub vertices across devices (a contiguous split would hand all the
+    low-id hubs of a preferential-attachment graph to device 0).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        chunk_size: int,
+        start: int = 0,
+        owner: int = 0,
+        num_owners: int = 1,
+    ) -> None:
+        if not 0 <= owner < num_owners:
+            raise ValueError("owner must be in [0, num_owners)")
+        self.total = total
+        self.chunk_size = chunk_size
+        self.stride = chunk_size * num_owners
+        self.pos = start + owner * chunk_size
+
+    def next_chunk(self) -> tuple[int, int] | None:
+        if self.pos >= self.total:
+            return None
+        start = self.pos
+        end = min(start + self.chunk_size, self.total)
+        self.pos += self.stride
+        return (start, end)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.total
+
+
+@dataclass
+class KernelState:
+    """State shared by all warps of one kernel launch."""
+
+    plan: MatchingPlan
+    config: EngineConfig
+    computer: CandidateComputer
+    device: VirtualDevice
+    chunks: ChunkIterator
+    board: GlobalStealBoard
+    on_match: MatchCallback | None = None
+    matches: int = 0
+    num_local_steals: int = 0
+    num_global_steals: int = 0
+    stop_flag: bool = False
+    active_count: int = 0  # warps currently holding a nonempty stack
+    tasks: list["WarpTask"] = field(default_factory=list)
+
+    def block_tasks(self, block_id: int) -> list["WarpTask"]:
+        wpb = self.config.device.warps_per_block
+        return self.tasks[block_id * wpb : (block_id + 1) * wpb]
+
+    def add_matches(self, n: int) -> None:
+        self.matches += n
+        budget = self.config.max_results
+        if budget is not None and self.matches >= budget:
+            self.stop_flag = True
+
+    @property
+    def drained(self) -> bool:
+        """True when no warp can ever obtain work again: the root counter
+        is exhausted, no stack is live, and no pushed stack awaits pickup."""
+        return (
+            self.chunks.exhausted
+            and self.active_count == 0
+            and not self.board.has_pending
+        )
+
+
+class WarpTask:
+    """One warp's execution of the kernel loop."""
+
+    RUNNING = "running"
+    DONE = "done"
+
+    def __init__(self, warp, state: KernelState) -> None:
+        self.warp = warp
+        self.state = state
+        self.stack = WarpStack()
+        self.status = WarpTask.RUNNING
+
+    @property
+    def runnable(self) -> bool:
+        return self.status == WarpTask.RUNNING
+
+    @property
+    def clock(self) -> float:
+        return self.warp.clock
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _gain_work(self, frames: list[Frame] | Frame) -> None:
+        assert self.stack.depth == 0
+        if isinstance(frames, Frame):
+            self.stack.push(frames)
+        else:
+            self.stack.frames = frames
+        self.state.active_count += 1
+        self.state.board.clear_idle(self.warp.block_id, self.warp.warp_id)
+
+    def _drop_stack(self) -> None:
+        if self.stack.depth:
+            self.stack.clear()
+        self.state.active_count -= 1
+
+    # -- scheduler hook ----------------------------------------------------
+
+    def step(self) -> StepResult:
+        st = self.state
+        if st.stop_flag:
+            if self.stack.depth:
+                self._drop_stack()
+            self.status = WarpTask.DONE
+            return StepResult.DONE
+        if self.stack.depth == 0:
+            return self._acquire_work()
+        return self._advance()
+
+    # -- work acquisition --------------------------------------------------
+
+    def _acquire_work(self) -> StepResult:
+        st = self.state
+        cfg = st.config
+        warp = self.warp
+        chunk = st.chunks.next_chunk()
+        if chunk is not None:
+            warp.charge(warp.cost.atomic_op)
+            arr = st.computer.root_candidates[chunk[0]: chunk[1]]
+            if arr.size:
+                warp.charge_copy(arr.size, in_global=True)
+                self._gain_work(st.computer.root_frame(arr))
+            return StepResult.RUNNING
+        # no steal levels enabled: the warp retires with the counter
+        if not (cfg.local_steal or cfg.global_steal):
+            self.status = WarpTask.DONE
+            return StepResult.DONE
+        if st.drained:
+            self.status = WarpTask.DONE
+            return StepResult.DONE
+        # spin iteration: local steal attempt, then global slot poll
+        warp.charge(warp.cost.idle_poll, busy=False)
+        if cfg.local_steal and self._try_local_steal():
+            return StepResult.RUNNING
+        if cfg.global_steal:
+            st.board.mark_idle(warp.block_id, warp.warp_id)
+            if self._try_take_global():
+                return StepResult.RUNNING
+        return StepResult.RUNNING  # keep spinning
+
+    def _try_local_steal(self) -> bool:
+        st = self.state
+        cfg = st.config
+        siblings = st.block_tasks(self.warp.block_id)
+        target = select_local_target(self, siblings, cfg.stop_level)
+        if target is None:
+            return False
+        work = divide_and_copy(target.stack, cfg.stop_level)
+        if work.empty:
+            return False
+        self._gain_work(work.frames)
+        self.warp.charge(self.warp.cost.steal_cycles(work.copied_elems, local=True))
+        self.warp.counters.steals_received += 1
+        target.warp.counters.steals_initiated += 1
+        st.num_local_steals += 1
+        return True
+
+    def _try_take_global(self) -> bool:
+        """Poll this block's ``global_stks`` slot for a pushed stack."""
+        st = self.state
+        pending = st.board.take(self.warp.block_id)
+        if pending is None:
+            return False
+        self.warp.sync_to(pending.pusher_clock)
+        self.warp.charge(
+            self.warp.cost.steal_cycles(pending.work.copied_elems, local=False)
+        )
+        self._gain_work(pending.work.frames)
+        self.warp.counters.steals_received += 1
+        return True
+
+    # -- global push side ----------------------------------------------------
+
+    def _maybe_push_global(self) -> None:
+        st = self.state
+        cfg = st.config
+        warp = self.warp
+        if not self.stack.has_stealable(cfg.stop_level):
+            return
+        warp.charge(warp.cost.shared_access)  # bitmap scan probe
+        block = st.board.find_idle_block(exclude_block=warp.block_id)
+        if block is None:
+            return
+        work = divide_and_copy(self.stack, cfg.stop_level)
+        if work.empty:
+            return
+        warp.charge(warp.cost.steal_cycles(work.copied_elems, local=False))
+        warp.counters.steals_initiated += 1
+        st.num_global_steals += 1
+        st.board.deposit(block, work, warp.clock, warp.warp_id)
+
+    # -- the loop body -----------------------------------------------------
+
+    def _advance(self) -> StepResult:
+        st = self.state
+        cfg = st.config
+        warp = self.warp
+        f = self.stack.top
+        if f.remaining_active() == 0:
+            warp.charge(warp.cost.warp_issue)
+            if f.uiter + 1 < f.nslots:
+                f.advance_slot()
+            else:
+                self.stack.pop()
+                if self.stack.depth == 0:
+                    self.state.active_count -= 1
+            return StepResult.RUNNING
+        cand = f.active_cand()
+        batch = cand[f.iter : f.iter + cfg.unroll]
+        f.iter += int(batch.size)
+        new_level = f.level + 1
+        # steal_across_block check on level entry (Sec. V-B): fires for
+        # shallow levels only, where the remaining workload justifies the
+        # push overhead
+        if cfg.global_steal and new_level <= cfg.detect_level:
+            self._maybe_push_global()
+        frame = st.computer.compute_frame(warp, self.stack, new_level, batch)
+        warp.counters.tree_nodes += int(batch.size)
+        if new_level == st.plan.size - 1:
+            self._consume_leaf(frame)
+            return StepResult.RUNNING
+        self.stack.push(frame)
+        return StepResult.RUNNING
+
+    def _consume_leaf(self, frame: Frame) -> None:
+        """Count (or emit) the last level's candidates — Fig. 3 line 16."""
+        st = self.state
+        total = sum(int(c.size) for c in frame.cand)
+        if total == 0:
+            return
+        if st.on_match is not None:
+            prefix = self.stack.partial_match()
+            for u in range(frame.nslots):
+                if frame.cand[u].size == 0:
+                    continue
+                mu = prefix + [int(frame.slot_vertices[u])]
+                for v in frame.cand[u]:
+                    st.on_match(tuple(mu) + (int(v),))
+        self.warp.charge(self.warp.cost.warp_issue + self.warp.cost.global_access)
+        self.warp.counters.matches += total
+        st.add_matches(total)
+
+
+def run_kernel(
+    plan: MatchingPlan,
+    config: EngineConfig,
+    computer: CandidateComputer,
+    device: VirtualDevice,
+    root_range: tuple[int, int] | None = None,
+    root_partition: tuple[int, int] | None = None,
+    on_match: MatchCallback | None = None,
+) -> KernelState:
+    """Launch the kernel: one warp task per device warp, one launch total.
+
+    ``root_range`` restricts the global chunk counter to a contiguous
+    slice of the root candidates; ``root_partition = (owner,
+    num_owners)`` shards it round-robin instead (the multi-GPU split of
+    Fig. 11).  The two are mutually exclusive.
+    """
+    if root_range is not None and root_partition is not None:
+        raise ValueError("root_range and root_partition are mutually exclusive")
+    total_roots = computer.root_candidates.size
+    start, end = root_range if root_range is not None else (0, total_roots)
+    owner, num_owners = root_partition if root_partition is not None else (0, 1)
+    chunks = ChunkIterator(
+        total=end,
+        chunk_size=config.chunk_size,
+        start=start,
+        owner=owner,
+        num_owners=num_owners,
+    )
+    board = GlobalStealBoard(
+        num_blocks=device.num_blocks,
+        warps_per_block=config.device.warps_per_block,
+    )
+    state = KernelState(
+        plan=plan,
+        config=config,
+        computer=computer,
+        device=device,
+        chunks=chunks,
+        board=board,
+        on_match=on_match,
+    )
+    state.tasks = [WarpTask(w, state) for w in device.warps]
+    # one kernel launch: charge every warp the launch latency
+    for w in device.warps:
+        w.charge(w.cost.kernel_launch, busy=False)
+    sched: EventScheduler[WarpTask] = EventScheduler(
+        state.tasks, clock_of=lambda t: t.clock, step=lambda t: t.step()
+    )
+    sched.run()
+    # kernel retired: warps that were spinning idle at the end accrue
+    # idle time up to the makespan
+    makespan = device.makespan_cycles()
+    for w in device.warps:
+        w.sync_to(makespan)
+    return state

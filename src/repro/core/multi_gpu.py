@@ -1,0 +1,88 @@
+"""Multi-GPU execution (Sec. VIII-B, Fig. 11).
+
+The paper runs STMatch on multiple GPUs "by duplicating the input graph
+and dividing the outermost loop iterations across GPUs"; each device
+runs its own kernel with its own two-level work stealing, and the job
+finishes when the slowest device does.  The same approach is simulated
+here with one :class:`VirtualDevice` per GPU.
+
+The root counter is sharded round-robin by chunk (device ``d`` serves
+every ``n``-th chunk), but because the split is static (no cross-device
+stealing) scaling is still sub-linear when individual root subtrees
+dominate — exactly the effect Fig. 11 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import CSRGraph
+from repro.pattern.plan import MatchingPlan
+from repro.pattern.query import QueryGraph
+from repro.virtgpu.device import VirtualDevice
+
+from .config import EngineConfig
+from .counters import RunResult, RunStatus
+from .engine import STMatchEngine
+
+__all__ = ["MultiGpuResult", "run_multi_gpu"]
+
+
+@dataclass
+class MultiGpuResult:
+    """Aggregate of one multi-device run."""
+
+    num_devices: int
+    per_device: list[RunResult]
+    matches: int
+    sim_ms: float  # makespan across devices
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.per_device)
+
+    def speedup_over(self, single: "MultiGpuResult | RunResult") -> float:
+        base = single.sim_ms
+        return base / self.sim_ms if self.sim_ms > 0 else float("inf")
+
+
+def run_multi_gpu(
+    graph: CSRGraph,
+    query: QueryGraph | MatchingPlan,
+    num_devices: int,
+    config: EngineConfig | None = None,
+    vertex_induced: bool = False,
+    symmetry_breaking: bool = True,
+) -> MultiGpuResult:
+    """Run one query across ``num_devices`` virtual GPUs.
+
+    The root-candidate chunks are sharded round-robin; every device
+    holds a full copy of the graph (the paper's duplication strategy)
+    and runs an independent kernel.  Total matches = sum over devices;
+    time = max over devices.
+    """
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    config = config or EngineConfig()
+    engine = STMatchEngine(graph, config)
+    if isinstance(query, MatchingPlan):
+        plan = query
+    else:
+        plan = engine.plan(
+            query, vertex_induced=vertex_induced, symmetry_breaking=symmetry_breaking
+        )
+    results: list[RunResult] = []
+    matches = 0
+    for d in range(num_devices):
+        dev = VirtualDevice(config.device, device_id=d)
+        res = engine.run(plan, root_partition=(d, num_devices), device=dev)
+        results.append(res)
+        if res.status == RunStatus.OK:
+            matches += res.matches
+    sim_ms = max((r.sim_ms for r in results), default=0.0)
+    return MultiGpuResult(
+        num_devices=num_devices,
+        per_device=results,
+        matches=matches,
+        sim_ms=sim_ms,
+    )

@@ -1,0 +1,123 @@
+"""Two-level work stealing (Sec. V).
+
+Level 1 — within a threadblock (Sec. V-A): an idle warp scans sibling
+warps' stacks in shared memory, picks the one with the most remaining
+shallow work, and *pulls* half of its unexplored candidates at every
+level up to ``StopLevel`` (divide-and-copy, Fig. 5).
+
+Level 2 — across threadblocks (Sec. V-B): stacks live in shared memory,
+so a warp cannot read another block's stacks.  Instead the idle warp
+marks its block's bitmap in the global ``is_idle`` array and spins; a
+busy warp entering a shallow level (``< DetectLevel``) scans the bitmap
+and *pushes* a divided copy of its own stack into the idle block's
+``global_stks`` slot (Fig. 6).
+
+This module holds the target-selection policy and the global steal
+board; the kernel driver wires them to the discrete-event scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from .stack import StolenWork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .kernel import WarpTask
+
+__all__ = ["select_local_target", "GlobalStealBoard", "PendingWork"]
+
+
+def select_local_target(
+    stealer: "WarpTask", candidates: Iterable["WarpTask"], stop_level: int
+) -> "WarpTask | None":
+    """Pick the sibling warp with the most stealable shallow work.
+
+    ``remaining_below`` weights shallow levels exponentially (a level-0
+    candidate is a whole subtree) — the Sec. V-A "most remaining work"
+    heuristic.  Returns ``None`` when no sibling has a divisible stack.
+    """
+    best: "WarpTask | None" = None
+    best_score = 0
+    for t in candidates:
+        if t is stealer or not t.runnable:
+            continue
+        if not t.stack.has_stealable(stop_level):
+            continue
+        score = t.stack.remaining_below(stop_level)
+        if score > best_score:
+            best_score = score
+            best = t
+    return best
+
+
+@dataclass
+class PendingWork:
+    """One deposited stack in a block's ``global_stks`` slot."""
+
+    work: StolenWork
+    pusher_clock: float
+    pusher_warp: int
+
+
+@dataclass
+class GlobalStealBoard:
+    """The ``is_idle`` bitmap + ``global_stks`` array of Sec. V-B.
+
+    One bitmap entry and one stack slot per threadblock, both living in
+    (simulated) global memory.
+    """
+
+    num_blocks: int
+    warps_per_block: int
+    idle: list[set[int]] = field(default_factory=list)
+    slots: list[PendingWork | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.idle:
+            self.idle = [set() for _ in range(self.num_blocks)]
+        if not self.slots:
+            self.slots = [None] * self.num_blocks
+
+    def mark_idle(self, block_id: int, warp_id: int) -> None:
+        self.idle[block_id].add(warp_id)
+
+    def clear_idle(self, block_id: int, warp_id: int | None = None) -> None:
+        if warp_id is None:
+            self.idle[block_id].clear()
+        else:
+            self.idle[block_id].discard(warp_id)
+
+    def block_fully_idle(self, block_id: int) -> bool:
+        return len(self.idle[block_id]) == self.warps_per_block
+
+    def find_idle_block(self, exclude_block: int) -> int | None:
+        """First fully-idle block with an empty stack slot (the push
+        target scan of Fig. 6, step 3)."""
+        for b in range(self.num_blocks):
+            if b == exclude_block:
+                continue
+            if self.block_fully_idle(b) and self.slots[b] is None:
+                return b
+        return None
+
+    def deposit(self, block_id: int, work: StolenWork, pusher_clock: float, pusher_warp: int) -> None:
+        if self.slots[block_id] is not None:
+            raise ValueError(f"global_stks[{block_id}] already occupied")
+        self.slots[block_id] = PendingWork(work=work, pusher_clock=pusher_clock, pusher_warp=pusher_warp)
+
+    def take(self, block_id: int) -> PendingWork | None:
+        """A woken warp collects its block's deposited stack."""
+        pw = self.slots[block_id]
+        self.slots[block_id] = None
+        return pw
+
+    @property
+    def num_idle_warps(self) -> int:
+        return sum(len(s) for s in self.idle)
+
+    @property
+    def has_pending(self) -> bool:
+        """Any deposited stack not yet collected (work in flight)."""
+        return any(s is not None for s in self.slots)

@@ -1,0 +1,45 @@
+"""Graph substrate: CSR storage, builders, IO, generators, datasets."""
+
+from .builder import GraphBuilder
+from .csr import CSRGraph
+from .datasets import DATASETS, dataset_names, load_dataset
+from .generators import (
+    chung_lu,
+    erdos_renyi,
+    powerlaw_cluster,
+    random_regular_ish,
+    rmat,
+)
+from .io import load_auto, load_labeled_graph, load_npz, load_snap_edgelist, save_npz
+from .labels import (
+    assign_degree_band_labels,
+    assign_random_labels,
+    label_histogram,
+    relabel_query_consistently,
+)
+from .stats import GraphStats, compute_stats, degree_histogram
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "erdos_renyi",
+    "rmat",
+    "chung_lu",
+    "powerlaw_cluster",
+    "random_regular_ish",
+    "load_snap_edgelist",
+    "load_labeled_graph",
+    "load_npz",
+    "save_npz",
+    "load_auto",
+    "assign_random_labels",
+    "assign_degree_band_labels",
+    "label_histogram",
+    "relabel_query_consistently",
+    "compute_stats",
+    "degree_histogram",
+]

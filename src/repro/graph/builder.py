@@ -1,0 +1,111 @@
+"""Incremental graph builder.
+
+A small mutable companion to :class:`~repro.graph.csr.CSRGraph` used by
+loaders and generators: collect edges (with optional labels), then
+``build()`` a validated CSR graph.  The builder deduplicates edges,
+drops self loops, and can optionally relabel vertices densely when the
+input uses sparse ids (SNAP files frequently skip ids).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulate edges and produce a :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    directed:
+        Build a directed graph (default undirected).
+    compact_ids:
+        When True, arbitrary non-negative vertex ids are remapped to a
+        dense ``0..n-1`` range in first-seen-sorted order; the mapping is
+        available as :attr:`id_map` after :meth:`build`.
+    """
+
+    def __init__(self, directed: bool = False, compact_ids: bool = False) -> None:
+        self.directed = directed
+        self.compact_ids = compact_ids
+        self._src: list[np.ndarray] = []
+        self._dst: list[np.ndarray] = []
+        self._labels: dict[int, int] = {}
+        self._explicit_n: int | None = None
+        self.id_map: Mapping[int, int] | None = None
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        self._src.append(np.asarray([u], dtype=np.int64))
+        self._dst.append(np.asarray([v], dtype=np.int64))
+        return self
+
+    def add_edges(self, edges: Iterable[tuple[int, int]] | np.ndarray) -> "GraphBuilder":
+        e = np.asarray(edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64)
+        if e.size == 0:
+            return self
+        if e.ndim != 2 or e.shape[1] != 2:
+            raise ValueError("edges must be (m, 2)")
+        self._src.append(e[:, 0].copy())
+        self._dst.append(e[:, 1].copy())
+        return self
+
+    def set_label(self, v: int, label: int) -> "GraphBuilder":
+        if label < 0:
+            raise ValueError("labels must be non-negative")
+        self._labels[int(v)] = int(label)
+        return self
+
+    def set_num_vertices(self, n: int) -> "GraphBuilder":
+        """Force the vertex count (isolated trailing vertices allowed)."""
+        self._explicit_n = int(n)
+        return self
+
+    @property
+    def num_pending_edges(self) -> int:
+        return int(sum(a.size for a in self._src))
+
+    def build(self, name: str = "graph") -> CSRGraph:
+        """Materialize the accumulated edges into a validated CSRGraph."""
+        if self._src:
+            src = np.concatenate(self._src)
+            dst = np.concatenate(self._dst)
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+        if src.size and min(src.min(), dst.min()) < 0:
+            raise ValueError("vertex ids must be non-negative")
+
+        if self.compact_ids:
+            seen = np.unique(np.concatenate([src, dst, np.asarray(sorted(self._labels), dtype=np.int64)]))
+            remap = {int(old): i for i, old in enumerate(seen)}
+            self.id_map = remap
+            src = np.asarray([remap[int(x)] for x in src], dtype=np.int64)
+            dst = np.asarray([remap[int(x)] for x in dst], dtype=np.int64)
+            labels_dict = {remap[v]: l for v, l in self._labels.items()}
+            n = len(seen)
+        else:
+            labels_dict = dict(self._labels)
+            n = 0
+            if src.size:
+                n = int(max(src.max(), dst.max())) + 1
+            if self._labels:
+                n = max(n, max(self._labels) + 1)
+        if self._explicit_n is not None:
+            if self.compact_ids:
+                raise ValueError("set_num_vertices is incompatible with compact_ids")
+            if self._explicit_n < n:
+                raise ValueError("explicit vertex count smaller than max id + 1")
+            n = self._explicit_n
+
+        labels = None
+        if labels_dict:
+            labels = np.zeros(n, dtype=np.int32)
+            for v, l in labels_dict.items():
+                labels[v] = l
+        edges = np.stack([src, dst], axis=1) if src.size else np.empty((0, 2), dtype=np.int64)
+        return CSRGraph.from_edges(n, edges, labels=labels, directed=self.directed, name=name)

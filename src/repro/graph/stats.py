@@ -1,0 +1,74 @@
+"""Dataset statistics — the quantities reported in the paper's Table I.
+
+Table I lists, per data graph: number of nodes, number of edges, max
+degree, median degree, and the fraction of vertices with degree above
+the ``MAX_DEGREE = 4096`` stack-slot capacity (the tail that spills to
+CPU memory in the paper; in this reproduction it spills to the virtual
+GPU's host-memory region with a higher access cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphStats", "compute_stats", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for one data graph (one Table I row)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    median_degree: float
+    mean_degree: float
+    frac_degree_over: float
+    degree_cap: int
+    num_labels: int
+
+    def row(self) -> tuple:
+        """Values in Table I column order."""
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            self.median_degree,
+            f"{100.0 * self.frac_degree_over:.4f}%",
+        )
+
+
+def compute_stats(graph: CSRGraph, degree_cap: int = 4096) -> GraphStats:
+    """Compute the Table I statistics for ``graph``.
+
+    ``degree_cap`` is the per-level candidate-slot capacity
+    (``MAX_DEGREE`` in the paper, 4096); the returned fraction is the
+    share of vertices whose neighbor list overflows a slot.
+    """
+    deg = graph.degree()
+    n = graph.num_vertices
+    return GraphStats(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        max_degree=int(deg.max()) if n else 0,
+        median_degree=float(np.median(deg)) if n else 0.0,
+        mean_degree=float(deg.mean()) if n else 0.0,
+        frac_degree_over=float(np.mean(deg > degree_cap)) if n else 0.0,
+        degree_cap=degree_cap,
+        num_labels=graph.num_labels,
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Histogram ``h[d]`` = number of vertices of degree ``d``."""
+    deg = graph.degree()
+    if deg.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(deg).astype(np.int64)

@@ -1,0 +1,131 @@
+"""The paper's query set q1–q24 and motif enumeration helpers.
+
+Sec. VIII-A: the evaluation uses 24 undirected queries — eight of size
+5 (q1–q8), eight of size 6 (q9–q16) and eight of size 7 (q17–q24).
+q8, q16 and q24 are cliques; q7, q15 and q23 cover the undirected
+skeletons of the 33 directed cuTS queries; the remaining six per size
+are "randomly selected" motifs.  The paper does not print the exact
+random picks, so this registry fixes a deterministic, structurally
+diverse selection per size (paths, cycles, trees, chorded cycles,
+prisms/wheels) and documents each choice.
+
+:func:`connected_motifs` enumerates all non-isomorphic connected motifs
+of a given size (used by tests to cross-check counting identities).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .query import QueryGraph
+
+__all__ = ["QUERIES", "get_query", "query_names", "queries_of_size", "connected_motifs"]
+
+
+def _q(name: str, k: int, edges: list[tuple[int, int]]) -> QueryGraph:
+    return QueryGraph.from_edges(k, edges, name=name)
+
+
+def _build_registry() -> dict[str, QueryGraph]:
+    reg: dict[str, QueryGraph] = {}
+
+    # ----- size 5: q1..q8 -------------------------------------------------
+    reg["q1"] = _q("q1", 5, [(0, 1), (1, 2), (2, 3), (3, 4)])  # path
+    reg["q2"] = _q("q2", 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])  # cycle
+    reg["q3"] = _q("q3", 5, [(0, 1), (0, 2), (0, 3), (3, 4)])  # fork / chair tree
+    reg["q4"] = _q("q4", 5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])  # tailed square
+    reg["q5"] = _q("q5", 5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])  # house
+    reg["q6"] = _q("q6", 5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])  # K4 + tail
+    reg["q7"] = _q("q7", 5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])  # lollipop (cuTS)
+    reg["q8"] = QueryGraph.clique(5, name="q8")
+
+    # ----- size 6: q9..q16 ------------------------------------------------
+    reg["q9"] = _q("q9", 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])  # path
+    reg["q10"] = _q("q10", 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])  # cycle
+    reg["q11"] = _q("q11", 6, [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)])  # double star
+    reg["q12"] = _q("q12", 6, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)])  # square + 2 tails
+    reg["q13"] = _q("q13", 6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3),
+                               (0, 3), (1, 4), (2, 5)])  # triangular prism
+    reg["q14"] = _q("q14", 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+                               (5, 0), (5, 1), (5, 2), (5, 3), (5, 4)])  # wheel5
+    reg["q15"] = _q("q15", 6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)])  # lollipop (cuTS)
+    reg["q16"] = QueryGraph.clique(6, name="q16")
+
+    # ----- size 7: q17..q24 -----------------------------------------------
+    reg["q17"] = _q("q17", 7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])  # path
+    reg["q18"] = _q("q18", 7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)])  # cycle
+    reg["q19"] = _q("q19", 7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)])  # binary tree
+    reg["q20"] = _q("q20", 7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (2, 6)])  # C5 + 2 tails
+    reg["q21"] = _q("q21", 7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)])
+    # ^ two triangles joined by a path ("dumbbell")
+    reg["q22"] = _q("q22", 7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
+                               (6, 0), (6, 1), (6, 2), (6, 3), (6, 4), (6, 5)])  # wheel6
+    reg["q23"] = _q("q23", 7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6)])  # lollipop (cuTS)
+    reg["q24"] = QueryGraph.clique(7, name="q24")
+    return reg
+
+
+QUERIES: dict[str, QueryGraph] = _build_registry()
+
+
+def query_names(size: int | None = None) -> list[str]:
+    """Names in q1..q24 order, optionally filtered by pattern size."""
+    names = sorted(QUERIES, key=lambda s: int(s[1:]))
+    if size is None:
+        return names
+    return [n for n in names if QUERIES[n].size == size]
+
+
+def queries_of_size(size: int) -> list[QueryGraph]:
+    """Registered queries of one pattern size, in q-number order."""
+    return [QUERIES[n] for n in query_names(size)]
+
+
+def get_query(name: str, labels: list[int] | None = None) -> QueryGraph:
+    """Fetch a registered query, optionally attaching abstract labels.
+
+    ``labels`` uses abstract ids (0..L-1); benchmarks bind them to data
+    labels via :func:`repro.graph.labels.relabel_query_consistently`.
+    """
+    if name not in QUERIES:
+        raise KeyError(f"unknown query {name!r}; known: q1..q24")
+    q = QUERIES[name]
+    if labels is not None:
+        q = q.with_labels(labels)
+    return q
+
+
+def connected_motifs(size: int) -> list[QueryGraph]:
+    """All non-isomorphic connected unlabeled graphs on ``size`` vertices.
+
+    Exhaustive (2^(k choose 2) edge subsets with canonical-form dedup);
+    practical for size ≤ 5, which is what the tests need.
+    """
+    if size < 1 or size > 5:
+        raise ValueError("connected_motifs supports sizes 1..5")
+    all_pairs = list(combinations(range(size), 2))
+    seen: list[QueryGraph] = []
+    for mask in range(1 << len(all_pairs)):
+        edges = [all_pairs[i] for i in range(len(all_pairs)) if mask >> i & 1]
+        adj = np.zeros((size, size), dtype=bool)
+        for u, v in edges:
+            adj[u, v] = adj[v, u] = True
+        # connectivity check before constructing (constructor rejects
+        # disconnected graphs with an exception we'd rather avoid raising
+        # 2^10 times)
+        seen_v = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in range(size):
+                if adj[u, v] and v not in seen_v:
+                    seen_v.add(v)
+                    stack.append(v)
+        if len(seen_v) != size:
+            continue
+        q = QueryGraph(adj=adj, name=f"motif{size}_{mask}")
+        if not any(q.is_isomorphic_to(p) for p in seen):
+            seen.append(q)
+    return seen

@@ -1,0 +1,135 @@
+"""The virtual GPU device.
+
+Groups warps into threadblocks, owns the memory spaces and the cost
+model, and aggregates counters after a kernel run.  The default
+configuration is a scaled-down RTX 3090: fewer blocks/warps (so the
+pure-Python discrete-event simulation stays fast on stand-in graphs)
+but the same block structure, shared/global memory hierarchy, and
+warp width.  The STMatch-vs-Dryadic resource ratio is preserved through
+the CPU model's thread count (see ``costmodel``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costmodel import WARP_SIZE, GpuCostModel
+from .memory import GlobalMemory, SharedMemory
+from .warp import Warp, WarpCounters
+
+__all__ = ["DeviceConfig", "VirtualDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Shape and capacities of a virtual device.
+
+    The paper's RTX 3090 runs 82 SMs × 32 resident warps = 2624 warps;
+    the default here is 8 blocks × 8 warps = 64 warps, with global
+    memory scaled down proportionally to the stand-in graph sizes.
+    """
+
+    num_blocks: int = 8
+    warps_per_block: int = 8
+    shared_mem_per_block: int = 100 * 1024
+    global_mem_bytes: int = 96 * 1024 * 1024
+    cost: GpuCostModel = field(default_factory=GpuCostModel)
+
+    @property
+    def num_warps(self) -> int:
+        return self.num_blocks * self.warps_per_block
+
+    @property
+    def num_lanes(self) -> int:
+        return self.num_warps * WARP_SIZE
+
+    def scaled(self, factor: int) -> "DeviceConfig":
+        """A device with ``factor``× the blocks (used by multi-GPU only
+        for sanity experiments; real multi-GPU duplicates devices)."""
+        return DeviceConfig(
+            num_blocks=self.num_blocks * factor,
+            warps_per_block=self.warps_per_block,
+            shared_mem_per_block=self.shared_mem_per_block,
+            global_mem_bytes=self.global_mem_bytes,
+            cost=self.cost,
+        )
+
+
+class VirtualDevice:
+    """One virtual GPU: warps, threadblocks, memories, counters."""
+
+    def __init__(self, config: DeviceConfig | None = None, device_id: int = 0) -> None:
+        self.config = config or DeviceConfig()
+        self.device_id = device_id
+        self.cost = self.config.cost
+        self.global_mem = GlobalMemory(self.config.global_mem_bytes)
+        self.shared_mem = [
+            SharedMemory(b, self.config.shared_mem_per_block)
+            for b in range(self.config.num_blocks)
+        ]
+        self.warps: list[Warp] = [
+            Warp(warp_id=w, block_id=b, cost=self.cost)
+            for b in range(self.config.num_blocks)
+            for w in range(self.config.warps_per_block)
+        ]
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.config.num_blocks
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    def warps_in_block(self, block_id: int) -> list[Warp]:
+        wpb = self.config.warps_per_block
+        return self.warps[block_id * wpb : (block_id + 1) * wpb]
+
+    def block_of(self, warp: Warp) -> int:
+        return warp.block_id
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear clocks, counters and memory between kernel runs."""
+        for w in self.warps:
+            w.clock = 0.0
+            w.counters = WarpCounters()
+        self.global_mem.reset()
+        for s in self.shared_mem:
+            s.reset()
+
+    # -- post-run aggregation ----------------------------------------------
+
+    def makespan_cycles(self) -> float:
+        """Kernel time = the last warp to finish."""
+        return max((w.clock for w in self.warps), default=0.0)
+
+    def makespan_ms(self) -> float:
+        return self.cost.to_ms(self.makespan_cycles())
+
+    def total_counters(self) -> WarpCounters:
+        agg = WarpCounters()
+        for w in self.warps:
+            agg.merge(w.counters)
+        return agg
+
+    def occupancy(self) -> float:
+        """Fraction of warp-time spent busy (the Nsight 'occupancy'
+        proxy quoted in Fig. 12)."""
+        span = self.makespan_cycles()
+        if span <= 0:
+            return 0.0
+        busy = sum(w.counters.busy_cycles for w in self.warps)
+        return busy / (span * self.num_warps)
+
+    def thread_utilization(self) -> float:
+        """Device-wide useful-lane fraction (Fig. 13 metric)."""
+        agg = self.total_counters()
+        return agg.thread_utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VirtualDevice(id={self.device_id}, blocks={self.num_blocks}, "
+                f"warps={self.num_warps})")

@@ -1,0 +1,105 @@
+"""Virtual GPU memory spaces with capacity accounting.
+
+The paper's systems fail in characteristic ways when memory runs out —
+cuTS and GSI abort with out-of-memory on MiCo and the large graphs
+('×' cells in Tables II/III) because they materialize partial-subgraph
+tables, while STMatch's footprint is fixed.  To reproduce those
+failures the virtual GPU tracks allocations against explicit capacities
+and raises :class:`DeviceOOMError` when a kernel over-allocates.
+
+Shared memory is per-threadblock and tiny (tens of KB, Sec. II-C);
+global memory is device-wide; the host region models the paper's
+CPU-memory spill for neighbor lists longer than ``MAX_DEGREE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceOOMError", "MemorySpace", "SharedMemory", "GlobalMemory"]
+
+
+class DeviceOOMError(MemoryError):
+    """A kernel exceeded a virtual memory space's capacity."""
+
+    def __init__(self, space: str, requested: int, in_use: int, capacity: int) -> None:
+        super().__init__(
+            f"{space}: requested {requested} B with {in_use}/{capacity} B in use"
+        )
+        self.space = space
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+
+
+@dataclass
+class MemorySpace:
+    """A named, capacity-limited allocation arena.
+
+    Allocations are tracked by tag so tests can assert per-subsystem
+    footprints (e.g. "cuTS level-3 table").  ``high_water`` records the
+    peak footprint over the space's lifetime.
+    """
+
+    name: str
+    capacity: int
+    in_use: int = 0
+    high_water: int = 0
+    _tags: dict[str, int] = field(default_factory=dict)
+
+    def alloc(self, nbytes: int, tag: str = "anon") -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.in_use + nbytes > self.capacity:
+            raise DeviceOOMError(self.name, nbytes, self.in_use, self.capacity)
+        self.in_use += nbytes
+        self._tags[tag] = self._tags.get(tag, 0) + nbytes
+        self.high_water = max(self.high_water, self.in_use)
+
+    def free(self, nbytes: int, tag: str = "anon") -> None:
+        held = self._tags.get(tag, 0)
+        if nbytes > held:
+            raise ValueError(f"freeing {nbytes} B from tag {tag!r} holding {held} B")
+        self._tags[tag] = held - nbytes
+        self.in_use -= nbytes
+
+    def free_tag(self, tag: str) -> int:
+        """Free everything under ``tag``; returns the bytes released."""
+        held = self._tags.pop(tag, 0)
+        self.in_use -= held
+        return held
+
+    def usage(self, tag: str | None = None) -> int:
+        if tag is None:
+            return self.in_use
+        return self._tags.get(tag, 0)
+
+    def reset(self) -> None:
+        self.in_use = 0
+        self.high_water = 0
+        self._tags.clear()
+
+    @property
+    def utilization(self) -> float:
+        return self.in_use / self.capacity if self.capacity else 0.0
+
+
+class SharedMemory(MemorySpace):
+    """Per-threadblock shared memory (default 100 KB, Ampere-like)."""
+
+    def __init__(self, block_id: int, capacity: int = 100 * 1024) -> None:
+        super().__init__(name=f"shared[block {block_id}]", capacity=capacity)
+        self.block_id = block_id
+
+
+class GlobalMemory(MemorySpace):
+    """Device-wide global memory.
+
+    The default capacity is scaled down from the RTX 3090's 24 GB by
+    roughly the same factor as the stand-in graphs are scaled down from
+    the SNAP originals, so materializing systems hit the wall on the
+    same inputs the paper reports (DESIGN.md §2).
+    """
+
+    def __init__(self, capacity: int = 96 * 1024 * 1024) -> None:
+        super().__init__(name="global", capacity=capacity)

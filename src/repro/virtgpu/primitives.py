@@ -1,0 +1,111 @@
+"""SIMT warp primitives, emulated lane-exactly with NumPy.
+
+These mirror the CUDA intrinsics the paper's combined set operation
+(Fig. 8) is built from: ``__ballot_sync`` / ``__popc`` for warp-wide
+output compaction, an exclusive prefix sum for size offsets, and a
+per-lane binary search.  The emulations operate on whole lane vectors
+(length ≤ 32) and are bit-exact with the hardware semantics, so the
+Fig. 8 kernel can be expressed — and property-tested — faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .costmodel import WARP_SIZE
+
+__all__ = [
+    "ballot_sync",
+    "popc",
+    "lanemask_lt",
+    "warp_exclusive_scan",
+    "lane_binary_search",
+    "compact_offsets",
+]
+
+
+def ballot_sync(predicate: np.ndarray, mask: int = 0xFFFFFFFF) -> int:
+    """``__ballot_sync``: bit ``i`` of the result is lane ``i``'s predicate.
+
+    ``predicate`` is a boolean vector of up to 32 lanes; lanes beyond its
+    length are inactive (zero).  Only lanes enabled in ``mask``
+    contribute.
+    """
+    predicate = np.asarray(predicate, dtype=bool)
+    if predicate.size > WARP_SIZE:
+        raise ValueError("a warp has at most 32 lanes")
+    bits = 0
+    for lane in range(predicate.size):
+        if predicate[lane] and (mask >> lane) & 1:
+            bits |= 1 << lane
+    return bits
+
+
+def popc(x: int) -> int:
+    """``__popc``: number of set bits."""
+    if x < 0:
+        x &= 0xFFFFFFFF
+    return int(bin(x).count("1"))
+
+
+def lanemask_lt(lane: int) -> int:
+    """``%lanemask_lt``: bits below ``lane`` set (for prefix ballots)."""
+    if not 0 <= lane < WARP_SIZE:
+        raise ValueError("lane must be in [0, 32)")
+    return (1 << lane) - 1
+
+
+def warp_exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum across lanes (shuffle-based scan on HW)."""
+    values = np.asarray(values)
+    if values.size > WARP_SIZE:
+        raise ValueError("a warp has at most 32 lanes")
+    out = np.zeros_like(values)
+    if values.size > 1:
+        np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def lane_binary_search(values: np.ndarray, sorted_set: np.ndarray) -> np.ndarray:
+    """Each lane searches ``sorted_set`` for its value; True = found.
+
+    This is the per-lane ``bsearch`` of Fig. 8 (all lanes of one warp
+    search the same operand in lockstep).
+    """
+    values = np.asarray(values)
+    sorted_set = np.asarray(sorted_set)
+    if sorted_set.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_set, values)
+    pos = np.minimum(pos, sorted_set.size - 1)
+    return sorted_set[pos] == values
+
+
+def compact_offsets(keep: np.ndarray, set_idx: np.ndarray) -> np.ndarray:
+    """Output offset of each kept element within its set (Fig. 8, step 4).
+
+    On hardware: ``popc(ballot_sync(keep) & same_set_mask & lanemask_lt)``.
+    Emulated for an arbitrary number of elements: for element ``e`` the
+    offset is the count of kept elements before ``e`` with the same
+    ``set_idx``.  Elements not kept get offset -1.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    set_idx = np.asarray(set_idx)
+    if keep.shape != set_idx.shape:
+        raise ValueError("keep and set_idx must align")
+    out = np.full(keep.shape, -1, dtype=np.int64)
+    if keep.size == 0:
+        return out
+    # per-set running count of kept elements
+    order = np.argsort(set_idx, kind="stable")
+    ks = keep[order]
+    # positions where the set id changes
+    sid_sorted = set_idx[order]
+    cum = np.cumsum(ks) - ks  # kept-before within the sorted stream
+    # subtract the cumulative total at each set boundary
+    boundary = np.concatenate([[True], sid_sorted[1:] != sid_sorted[:-1]])
+    base = np.where(boundary, cum, 0)
+    np.maximum.accumulate(base, out=base)
+    offsets_sorted = np.where(ks, cum - base, -1)
+    out[order] = offsets_sorted
+    return out

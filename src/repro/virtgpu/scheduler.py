@@ -1,0 +1,110 @@
+"""Discrete-event warp scheduler.
+
+The STMatch kernel runs every warp's while-loop "simultaneously".  The
+simulation advances the warp with the *smallest simulated clock* by one
+step, which yields a serializable interleaving consistent with the
+per-warp clocks: whenever warp A inspects warp B's stack (work
+stealing), B's clock is ≥ A's, so B's current state is a valid snapshot
+of "B at time ≥ now".  This is the standard conservative discrete-event
+approximation; DESIGN.md lists it as a known modeling choice.
+
+Steps return a :class:`StepResult` telling the scheduler whether the
+warp is still runnable, finished, or blocked (idle-spinning on the
+global-steal bitmap) — blocked warps leave the run queue until another
+warp wakes them.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Callable, Generic, Hashable, TypeVar
+
+__all__ = ["StepResult", "EventScheduler"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class StepResult(enum.Enum):
+    """Outcome of advancing one entity by one step."""
+
+    RUNNING = "running"   # keep scheduling
+    BLOCKED = "blocked"   # waiting for an external wake (global steal)
+    DONE = "done"         # entity finished for good
+
+
+class EventScheduler(Generic[T]):
+    """Min-clock stepper over a set of entities.
+
+    Parameters
+    ----------
+    clock_of:
+        Returns an entity's current simulated clock.
+    step:
+        Advances an entity by one unit of work and reports its state.
+    """
+
+    def __init__(
+        self,
+        entities: list[T],
+        clock_of: Callable[[T], float],
+        step: Callable[[T], StepResult],
+    ) -> None:
+        self._clock_of = clock_of
+        self._step = step
+        self._heap: list[tuple[float, int, T]] = []
+        self._seq = 0
+        self._blocked: set[T] = set()
+        self._done: set[T] = set()
+        self._all = list(entities)
+        for e in entities:
+            self._push(e)
+
+    def _push(self, e: T) -> None:
+        heapq.heappush(self._heap, (self._clock_of(e), self._seq, e))
+        self._seq += 1
+
+    def wake(self, e: T, at_clock: float | None = None) -> None:
+        """Move a blocked entity back into the run queue."""
+        if e in self._done:
+            raise ValueError("cannot wake a finished entity")
+        if e in self._blocked:
+            self._blocked.discard(e)
+            self._push(e)
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Step entities until all are done/blocked; returns step count.
+
+        A deadlock (every remaining entity blocked with no one to wake
+        it) simply ends the run — the kernel driver is responsible for
+        detecting global termination before that happens.
+        """
+        steps = 0
+        while self._heap:
+            if max_steps is not None and steps >= max_steps:
+                break
+            clock, _, e = heapq.heappop(self._heap)
+            if e in self._blocked or e in self._done:
+                continue  # stale heap entry
+            if clock != self._clock_of(e):
+                # entity was re-clocked (e.g. woken with a later clock):
+                # reinsert at its true position
+                self._push(e)
+                continue
+            result = self._step(e)
+            steps += 1
+            if result is StepResult.RUNNING:
+                self._push(e)
+            elif result is StepResult.BLOCKED:
+                self._blocked.add(e)
+            else:
+                self._done.add(e)
+        return steps
+
+    @property
+    def blocked(self) -> set[T]:
+        return set(self._blocked)
+
+    @property
+    def all_done(self) -> bool:
+        return len(self._done) == len(self._all)

@@ -1,0 +1,128 @@
+"""API-surface tests: results, cells, CLI plumbing, package exports."""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    RunResult,
+    RunStatus,
+    STMatchEngine,
+    __version__,
+    get_query,
+)
+from repro.graph import erdos_renyi
+from repro.virtgpu.warp import WarpCounters
+
+
+class TestRunResult:
+    def test_cell_formats(self):
+        assert RunResult(system="x", sim_ms=1.234).cell(2) == "1.23"
+        assert RunResult(system="x", status=RunStatus.OOM).cell() == "×"
+        assert RunResult(system="x", status=RunStatus.BUDGET).cell() == "−"
+        assert RunResult(system="x", status=RunStatus.UNSUPPORTED).cell() == "n/a"
+
+    def test_speedup_over(self):
+        a = RunResult(system="a", sim_ms=1.0)
+        b = RunResult(system="b", sim_ms=4.0)
+        assert a.speedup_over(b) == pytest.approx(4.0)
+        assert b.speedup_over(a) == pytest.approx(0.25)
+
+    def test_speedup_none_on_failure(self):
+        a = RunResult(system="a", sim_ms=1.0)
+        bad = RunResult(system="b", status=RunStatus.OOM)
+        assert a.speedup_over(bad) is None
+        assert bad.speedup_over(a) is None
+
+    def test_ok_property(self):
+        assert RunResult(system="x").ok
+        assert not RunResult(system="x", status=RunStatus.OOM).ok
+
+
+class TestWarpCounters:
+    def test_merge(self):
+        a = WarpCounters(set_ops=1, rounds=2, busy_lanes=10, matches=5)
+        b = WarpCounters(set_ops=2, rounds=3, busy_lanes=20, matches=7)
+        a.merge(b)
+        assert a.set_ops == 3 and a.rounds == 5
+        assert a.busy_lanes == 30 and a.matches == 12
+
+    def test_utilization_zero_when_idle(self):
+        assert WarpCounters().thread_utilization == 0.0
+
+    def test_lane_slots(self):
+        assert WarpCounters(rounds=3).lane_slots == 96
+
+
+class TestEngineConfig:
+    def test_variant_factories(self):
+        assert EngineConfig.naive().unroll == 1
+        assert not EngineConfig.naive().local_steal
+        assert EngineConfig.localsteal().local_steal
+        assert not EngineConfig.localsteal().global_steal
+        assert EngineConfig.local_global_steal().global_steal
+        assert EngineConfig.full().unroll == 8
+
+    def test_with_updates(self):
+        cfg = EngineConfig().with_(unroll=4, max_results=10)
+        assert cfg.unroll == 4 and cfg.max_results == 10
+        assert EngineConfig().unroll == 8  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(unroll=0)
+        with pytest.raises(ValueError):
+            EngineConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(stop_level=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(max_degree=0)
+
+    def test_paper_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.unroll == 8
+        assert cfg.stop_level == 2
+        assert cfg.max_degree == 4096
+
+
+class TestEngineApi:
+    def test_count_helper(self):
+        g = erdos_renyi(25, 0.3, seed=2)
+        eng = STMatchEngine(g)
+        assert eng.count(get_query("q2")) == eng.run(get_query("q2")).matches
+
+    def test_version(self):
+        assert __version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in ["STMatchEngine", "EngineConfig", "CSRGraph", "QueryGraph",
+                     "load_dataset", "get_query", "build_plan", "run_multi_gpu"]:
+            assert hasattr(repro, name), name
+
+
+class TestCli:
+    def test_parser_choices(self):
+        from repro.bench.__main__ import build_parser
+
+        p = build_parser()
+        args = p.parse_args(["table1"])
+        assert args.experiment == "table1"
+        args = p.parse_args(["table2a", "--queries", "q5", "q8", "--budget", "1000"])
+        assert args.queries == ["q5", "q8"]
+        assert args.budget == 1000
+
+    def test_cli_table1_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_cli_small_grid_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        rc = main(["table2b", "--datasets", "wiki_vote", "--queries", "q8",
+                   "--budget", "5000", "--scale", "tiny"])
+        assert rc == 0
+        assert "Table II(b)" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for the motif-census and clique applications."""
+
+import networkx as nx
+import pytest
+
+from repro.apps import (
+    clique_profile,
+    count_cliques,
+    graphlet_frequencies,
+    list_cliques,
+    max_clique_size,
+    motif_census,
+)
+from repro.graph import CSRGraph, erdos_renyi, powerlaw_cluster
+from repro.pattern import QueryGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(60, m=3, p_triangle=0.6, seed=4)
+
+
+class TestMotifCensus:
+    def test_census_sizes(self, graph):
+        census = motif_census(graph, 3)
+        assert len(census.counts) == 2  # path + triangle
+
+    def test_triangle_count_matches_networkx(self, graph):
+        census = motif_census(graph, 3)
+        tri = next(c for q, c in census.counts.items() if q.num_edges == 3)
+        nx_tri = sum(nx.triangles(graph.to_networkx()).values()) // 3
+        assert tri == nx_tri
+
+    def test_census_covers_all_induced_subgraphs(self):
+        # sum over motifs of vertex-induced counts = #connected induced
+        # k-subsets; check on a tiny graph against brute force
+        from itertools import combinations
+
+        g = erdos_renyi(12, 0.35, seed=7)
+        nx_g = g.to_networkx()
+        census = motif_census(g, 4)
+        expected = sum(
+            1 for sub in combinations(range(12), 4)
+            if nx.is_connected(nx_g.subgraph(sub))
+        )
+        assert census.total == expected
+
+    def test_frequency_lookup(self, graph):
+        census = motif_census(graph, 3)
+        tri = QueryGraph.clique(3)
+        path = QueryGraph.path(3)
+        assert census.frequency(tri) + census.frequency(path) == pytest.approx(1.0)
+
+    def test_frequency_unknown_motif(self, graph):
+        census = motif_census(graph, 3)
+        with pytest.raises(KeyError):
+            census.frequency(QueryGraph.clique(4))
+
+    def test_graphlet_frequencies_normalized(self, graph):
+        freqs = graphlet_frequencies(graph, 4)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+        assert len(freqs) == 6
+
+    def test_by_edges_order(self, graph):
+        census = motif_census(graph, 4)
+        edge_counts = [q.num_edges for q, _ in census.by_edges()]
+        assert edge_counts == sorted(edge_counts)
+
+
+class TestCliques:
+    def test_count_matches_networkx(self, graph):
+        nx_g = graph.to_networkx()
+        by_size: dict[int, int] = {}
+        for cl in nx.enumerate_all_cliques(nx_g):
+            by_size[len(cl)] = by_size.get(len(cl), 0) + 1
+        for k in (3, 4, 5):
+            assert count_cliques(graph, k) == by_size.get(k, 0), k
+
+    def test_degenerate_k(self, graph):
+        assert count_cliques(graph, 1) == graph.num_vertices
+        assert count_cliques(graph, 2) == graph.num_edges
+
+    def test_k_bounds(self, graph):
+        with pytest.raises(ValueError):
+            count_cliques(graph, 0)
+        with pytest.raises(ValueError):
+            count_cliques(graph, 9)
+
+    def test_list_cliques_are_cliques(self, graph):
+        cliques = list_cliques(graph, 3, limit=20)
+        assert cliques
+        for cl in cliques:
+            assert len(cl) == 3 and list(cl) == sorted(cl)
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    assert graph.has_edge(cl[i], cl[j])
+
+    def test_list_cliques_unique_and_complete(self, graph):
+        cliques = list_cliques(graph, 3)
+        assert len(cliques) == len(set(cliques)) == count_cliques(graph, 3)
+
+    def test_max_clique_size(self, graph):
+        expected = nx.graph_clique_number(graph.to_networkx()) \
+            if hasattr(nx, "graph_clique_number") else max(
+                len(c) for c in nx.find_cliques(graph.to_networkx()))
+        assert max_clique_size(graph) == min(expected, 8)
+
+    def test_max_clique_empty_graph(self):
+        g = CSRGraph.from_edges(5, [])
+        assert max_clique_size(g) == 1
+        assert max_clique_size(CSRGraph.from_edges(0, [])) == 0
+
+    def test_clique_profile_stops_at_zero(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        profile = clique_profile(g, k_max=6)
+        assert profile[3] == 1
+        assert profile.get(4) == 0
+        assert 5 not in profile

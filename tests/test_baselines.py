@@ -1,0 +1,224 @@
+"""Unit + integration tests for the baseline systems."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, STMatchEngine, get_query
+from repro.baselines import (
+    CuTSEngine,
+    DryadicEngine,
+    GSIEngine,
+    PartialTrie,
+    count_matches_recursive,
+    schedule_tasks,
+)
+from repro.core.counters import RunStatus
+from repro.graph import assign_random_labels, erdos_renyi, powerlaw_cluster
+from repro.graph.labels import relabel_query_consistently
+from repro.virtgpu.costmodel import CpuCostModel
+from repro.virtgpu.device import DeviceConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(90, m=3, p_triangle=0.5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    return assign_random_labels(powerlaw_cluster(90, m=3, p_triangle=0.5, seed=21),
+                                num_labels=4, seed=5)
+
+
+class TestDryadic:
+    @pytest.mark.parametrize("name", ["q1", "q5", "q7", "q8"])
+    @pytest.mark.parametrize("vi", [False, True])
+    def test_counts_match_oracle(self, graph, name, vi):
+        eng = DryadicEngine(graph)
+        plan = eng.plan(get_query(name), vertex_induced=vi)
+        assert eng.run(plan).matches == count_matches_recursive(graph, plan)
+
+    def test_labeled_counts(self, labeled_graph):
+        q = get_query("q5").with_labels(
+            relabel_query_consistently(np.array([0, 1, 0, 1, 2]), labeled_graph, seed=1)
+        )
+        eng = DryadicEngine(labeled_graph)
+        plan = eng.plan(q)
+        assert eng.run(plan).matches == count_matches_recursive(labeled_graph, plan)
+
+    def test_no_motion_same_count_slower(self, graph):
+        q = get_query("q16")
+        with_m = DryadicEngine(graph, code_motion=True).run(q)
+        without_m = DryadicEngine(graph, code_motion=False).run(q)
+        assert with_m.matches == without_m.matches
+        assert without_m.sim_ms >= with_m.sim_ms
+
+    def test_more_threads_faster(self, graph):
+        q = get_query("q7")
+        t2 = DryadicEngine(graph, cpu=CpuCostModel(num_threads=2)).run(q)
+        t64 = DryadicEngine(graph, cpu=CpuCostModel(num_threads=64)).run(q)
+        assert t64.sim_ms < t2.sim_ms
+
+    def test_scaled_cpu_default(self, graph):
+        # default is scaled to the 64-warp virtual device => 2 threads
+        assert DryadicEngine(graph).cpu.num_threads == 2
+        assert DryadicEngine(graph, scale_to_warps=None).cpu.num_threads == 64
+
+    def test_budget(self, graph):
+        res = DryadicEngine(graph, max_results=5).run(get_query("q1"))
+        assert res.status == RunStatus.BUDGET
+        assert res.matches >= 5
+
+
+class TestScheduleTasks:
+    def test_single_thread_sums(self):
+        assert schedule_tasks([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_threads_max(self):
+        assert schedule_tasks([5.0, 1.0, 1.0], 3) == 5.0
+
+    def test_work_queue_order(self):
+        # queue order (not LPT): big task last stalls one thread
+        makespan = schedule_tasks([1, 1, 1, 10], 2)
+        assert makespan == 11 or makespan == 12
+
+    def test_overhead_charged(self):
+        assert schedule_tasks([1.0], 1, task_overhead=0.5) == 1.5
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_tasks([1.0], 0)
+
+
+class TestCuTS:
+    @pytest.mark.parametrize("name", ["q1", "q5", "q7", "q8"])
+    def test_counts_match_oracle(self, graph, name):
+        eng = CuTSEngine(graph)
+        plan = eng.plan(get_query(name))
+        assert eng.run(plan).matches == count_matches_recursive(graph, plan)
+
+    def test_rejects_labeled(self, labeled_graph):
+        q = get_query("q5").with_labels([0, 1, 0, 1, 2])
+        res = CuTSEngine(labeled_graph).run(q)
+        assert res.status == RunStatus.UNSUPPORTED
+
+    def test_rejects_vertex_induced(self, graph):
+        res = CuTSEngine(graph).run(get_query("q5"), vertex_induced=True)
+        assert res.status == RunStatus.UNSUPPORTED
+
+    def test_oom_on_tiny_device(self, graph):
+        dev = DeviceConfig(global_mem_bytes=16_000)  # barely fits the graph
+        res = CuTSEngine(graph, device=dev).run(get_query("q7"))
+        assert res.status == RunStatus.OOM
+
+    def test_chunking_on_small_budget_still_correct(self, graph):
+        # enough memory to finish, little enough to force hybrid splits
+        ref = CuTSEngine(graph).run(get_query("q7"))
+        dev = DeviceConfig(global_mem_bytes=1_000_000)
+        res = CuTSEngine(graph, device=dev).run(get_query("q7"))
+        if res.ok:
+            assert res.matches == ref.matches
+            assert "chunks=" in res.detail
+        else:
+            assert res.status == RunStatus.OOM
+
+    def test_per_level_launches(self, graph):
+        res = CuTSEngine(graph).run(get_query("q8"))
+        # BFS: at least one launch per level
+        assert int(res.detail.split("launches=")[1].split()[0]) >= 5
+
+    def test_row_budget_truncates(self, graph):
+        res = CuTSEngine(graph, max_rows=100).run(get_query("q1"))
+        assert res.status in (RunStatus.BUDGET, RunStatus.OK)
+        if res.status == RunStatus.BUDGET:
+            assert res.matches >= 0
+
+
+class TestGSI:
+    def test_labeled_counts_match_oracle(self, labeled_graph):
+        q = get_query("q5").with_labels(
+            relabel_query_consistently(np.array([0, 1, 0, 1, 2]), labeled_graph, seed=1)
+        )
+        eng = GSIEngine(labeled_graph)
+        plan = eng.plan(q)
+        assert eng.run(plan).matches == count_matches_recursive(labeled_graph, plan)
+
+    def test_unlabeled_supported(self, graph):
+        eng = GSIEngine(graph)
+        plan = eng.plan(get_query("q5"))
+        assert eng.run(plan).matches == count_matches_recursive(graph, plan)
+
+    def test_no_chunking_ooms_earlier_than_cuts(self, graph):
+        """GSI (full tuples, no hybrid fallback) must fail on memory
+        where cuTS still manages via chunking."""
+        dev = DeviceConfig(global_mem_bytes=1_000_000)
+        r_gsi = GSIEngine(graph, device=dev).run(get_query("q7"))
+        r_cuts = CuTSEngine(graph, device=dev).run(get_query("q7"))
+        if r_cuts.ok:
+            assert r_gsi.status == RunStatus.OOM
+
+    def test_slower_than_cuts(self, graph):
+        q = get_query("q7")
+        r_gsi = GSIEngine(graph).run(q)
+        r_cuts = CuTSEngine(graph).run(q)
+        if r_gsi.ok and r_cuts.ok:
+            assert r_gsi.sim_ms >= r_cuts.sim_ms
+
+
+class TestSystemAgreement:
+    """All four systems must count identically on shared workloads."""
+
+    @pytest.mark.parametrize("name", ["q2", "q5", "q7"])
+    def test_unlabeled_edge_induced(self, graph, name):
+        q = get_query(name)
+        st = STMatchEngine(graph).run(q)
+        dr = DryadicEngine(graph).run(q)
+        cu = CuTSEngine(graph).run(q)
+        gs = GSIEngine(graph).run(q)
+        counts = {st.matches, dr.matches}
+        if cu.ok:
+            counts.add(cu.matches)
+        if gs.ok:
+            counts.add(gs.matches)
+        assert len(counts) == 1
+
+    def test_stmatch_beats_dryadic_beats_cuts(self):
+        """The paper's headline ordering on a skewed mid-size input."""
+        g = powerlaw_cluster(300, m=5, p_triangle=0.6, seed=2)
+        q = get_query("q7")
+        st = STMatchEngine(g).run(q)
+        dr = DryadicEngine(g).run(q)
+        cu = CuTSEngine(g).run(q)
+        assert st.sim_ms < dr.sim_ms
+        if cu.ok:
+            assert dr.sim_ms < cu.sim_ms
+
+
+class TestPartialTrie:
+    def test_roundtrip(self):
+        table = np.array([[0, 1, 2], [0, 1, 3], [0, 4, 5], [6, 7, 8]], dtype=np.int32)
+        trie = PartialTrie.from_table(table)
+        back = trie.to_table()
+        assert np.array_equal(np.sort(back, axis=0), np.sort(table, axis=0))
+
+    def test_sharing_compresses(self):
+        # many rows sharing one prefix: trie ≪ full tuples
+        rows = [[0, 1, v] for v in range(100)]
+        trie = PartialTrie.from_table(np.array(rows, dtype=np.int32))
+        assert trie.num_partials == 100
+        assert trie.num_nodes == 1 + 1 + 100
+        assert trie.compression_ratio() > 1.0
+
+    def test_no_sharing_no_compression(self):
+        rows = np.arange(30, dtype=np.int32).reshape(10, 3)
+        trie = PartialTrie.from_table(rows)
+        assert trie.num_nodes == 30
+
+    def test_empty(self):
+        trie = PartialTrie.from_table(np.empty((0, 3), dtype=np.int32))
+        assert trie.num_partials == 0
+        assert trie.nbytes == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            PartialTrie.from_table(np.zeros(3))

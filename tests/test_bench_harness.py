@@ -1,0 +1,175 @@
+"""Tests for the benchmark harness, workloads and table rendering."""
+
+import pytest
+
+from repro.bench import (
+    SeriesSet,
+    TextTable,
+    Workload,
+    geomean,
+    labeled_query_for,
+    make_drivers,
+    make_workload,
+    queries_for_fig12,
+    queries_for_table2,
+    run_workload,
+    scale_for_query,
+)
+from repro.core.counters import RunStatus
+from repro.graph import load_dataset
+
+
+class TestWorkloads:
+    def test_make_workload_unlabeled(self):
+        w = make_workload("wiki_vote", "q7", scale="tiny")
+        assert not w.query.is_labeled
+        assert w.graph.name == "wiki_vote"
+        assert "q7" in w.key
+
+    def test_make_workload_labeled(self):
+        w = make_workload("mico", "q7", labeled=True, scale="tiny")
+        assert w.query.is_labeled
+        assert w.graph.is_labeled
+
+    def test_labeled_query_deterministic(self):
+        g = load_dataset("mico", "tiny")
+        a = labeled_query_for("q5", g)
+        b = labeled_query_for("q5", g)
+        assert list(a.labels) == list(b.labels)
+
+    def test_labels_occur_in_graph(self):
+        g = load_dataset("mico", "tiny")
+        q = labeled_query_for("q5", g)
+        occurring = set(range(g.num_labels))
+        assert set(q.labels.tolist()) <= occurring
+
+    def test_scale_for_query(self):
+        assert scale_for_query("q1") == "small"
+        assert scale_for_query("q9") == "small"
+        assert scale_for_query("q17") == "tiny"
+
+    def test_query_lists(self):
+        assert len(queries_for_table2()) == 24
+        assert queries_for_table2(sizes=(5,)) == [f"q{i}" for i in range(1, 9)]
+        assert queries_for_fig12() == [f"q{i}" for i in range(9, 17)]
+
+
+class TestDrivers:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_workload("wiki_vote", "q5", scale="tiny", budget=500_000)
+
+    def test_all_four_drivers(self, workload):
+        drivers = make_drivers()
+        assert set(drivers) == {"stmatch", "cuts", "gsi", "dryadic"}
+
+    def test_run_workload_consistency(self, workload):
+        cell = run_workload(workload, ["stmatch", "dryadic", "cuts"])
+        assert cell.consistent()
+        assert cell.results["stmatch"].ok
+
+    def test_cuts_unsupported_on_vertex_induced(self):
+        w = make_workload("wiki_vote", "q5", vertex_induced=True, scale="tiny")
+        cell = run_workload(w, ["cuts"])
+        assert cell.results["cuts"].status == RunStatus.UNSUPPORTED
+
+    def test_cuts_unsupported_on_labeled(self):
+        w = make_workload("mico", "q5", labeled=True, scale="tiny")
+        cell = run_workload(w, ["cuts"])
+        assert cell.results["cuts"].status == RunStatus.UNSUPPORTED
+
+    def test_speedup_helper(self, workload):
+        cell = run_workload(workload, ["stmatch", "dryadic"])
+        sp = cell.speedup("stmatch", "dryadic")
+        assert sp is None or sp > 0
+
+
+class TestRendering:
+    def test_text_table(self):
+        t = TextTable(title="T", columns=["a", "bb"])
+        t.add_row(1, "x")
+        t.add_note("n1")
+        out = t.render()
+        assert "T" in out and "bb" in out and "n1" in out
+
+    def test_text_table_arity_check(self):
+        t = TextTable(title="T", columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_series_set(self):
+        s = SeriesSet(title="F", x_label="x", y_label="y")
+        s.add_point("s1", 1, 0.5)
+        s.add_point("s1", 2, 0.75)
+        out = s.render()
+        assert "s1" in out and "0.75" in out
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([5.0]) == 5.0
+
+
+class TestExperimentDriversSmall:
+    """End-to-end smoke of the experiment drivers at minimal scope."""
+
+    def test_table1(self):
+        from repro.bench import table1_datasets
+
+        res = table1_datasets(scale="tiny")
+        assert "Table I" in res.rendered
+        assert len(res.data) == 7
+
+    def test_table2a_minimal(self):
+        from repro.bench import table2a_edge_induced
+
+        res = table2a_edge_induced(
+            datasets=["wiki_vote"], queries=["q5", "q8"], budget=20_000, scale="tiny"
+        )
+        assert res.consistent()
+        assert "q5" in res.rendered and "q8" in res.rendered
+
+    def test_table2b_minimal(self):
+        from repro.bench import table2b_vertex_induced
+
+        res = table2b_vertex_induced(
+            datasets=["wiki_vote"], queries=["q8"], budget=20_000, scale="tiny"
+        )
+        assert res.consistent()
+
+    def test_table3_minimal(self):
+        from repro.bench import table3_labeled
+
+        res = table3_labeled(
+            datasets=["mico"], queries=["q5"], budget=20_000, scale="tiny"
+        )
+        assert res.consistent()
+
+    def test_fig12_minimal(self):
+        from repro.bench import fig12_ablation
+
+        # complete workload (no budget): all variants must agree exactly
+        res = fig12_ablation(datasets=["wiki_vote"], queries=["q8"], budget=None)
+        assert res.consistent()
+
+    def test_fig13_minimal(self):
+        from repro.bench import fig13_unroll_utilization
+
+        res = fig13_unroll_utilization(
+            dataset="wiki_vote", queries=["q7"], unroll_sizes=(1, 8), budget=20_000
+        )
+        assert res.data[("q7", 8)] >= res.data[("q7", 1)] - 0.02
+
+    def test_fig11_minimal(self):
+        from repro.bench import fig11_multigpu
+
+        res = fig11_multigpu(datasets=["mico"], queries=["q13"],
+                             device_counts=(1, 2), budget=20_000)
+        assert ("mico", "q13", 2) in res.data
+
+    def test_codemotion_minimal(self):
+        from repro.bench import codemotion_ablation
+
+        res = codemotion_ablation(queries=["q16"], budget=20_000)
+        _, _, slow = res.data["q16"]
+        assert slow >= 1.0

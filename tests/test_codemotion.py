@@ -1,0 +1,292 @@
+"""Unit tests for code-motion analysis and the set-dependence graph."""
+
+import numpy as np
+import pytest
+
+from repro.codemotion import (
+    BaseKind,
+    OpKind,
+    SetOp,
+    SetProgram,
+    SetRecipe,
+    backward_ops,
+    motioned_program,
+    naive_program,
+    shared_memory_footprint,
+    split_labeled_program,
+)
+from repro.pattern import QueryGraph, get_query
+
+
+def fig2_query() -> QueryGraph:
+    """The paper's Fig. 2 example: u0 adjacent to u1,u2,u3; u1-u3; u2-u3."""
+    return QueryGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)])
+
+
+class TestBackwardOps:
+    def test_level0_empty(self):
+        assert backward_ops(get_query("q8"), 0, False) == []
+
+    def test_edge_induced_intersections_only(self):
+        q = fig2_query()
+        ops = backward_ops(q, 3, vertex_induced=False)
+        assert all(op.kind is OpKind.INTERSECT for op in ops)
+        assert [op.position for op in ops] == [0, 1, 2]
+
+    def test_vertex_induced_adds_differences(self):
+        q = fig2_query()
+        # level 2 (u2): neighbor of u0, NOT neighbor of u1
+        ops = backward_ops(q, 2, vertex_induced=True)
+        kinds = {(op.position, op.kind) for op in ops}
+        assert (0, OpKind.INTERSECT) in kinds
+        assert (1, OpKind.DIFFERENCE) in kinds
+
+    def test_base_is_intersection(self):
+        q = fig2_query()
+        ops = backward_ops(q, 2, vertex_induced=True)
+        assert ops[0].kind is OpKind.INTERSECT
+
+    def test_disconnected_level_raises(self):
+        # force a bad "order" by querying a vertex with no backward edges
+        q = QueryGraph.from_edges(3, [(0, 2), (1, 2)])
+        with pytest.raises(ValueError):
+            backward_ops(q, 1, False)  # vertex 1 not adjacent to vertex 0
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", ["q1", "q5", "q7", "q8", "q13", "q16"])
+    @pytest.mark.parametrize("vi", [False, True])
+    def test_programs_validate(self, name, vi):
+        q = get_query(name)
+        naive_program(q, vi).validate()
+        motioned_program(q, vi).validate()
+
+    def test_naive_one_set_per_level(self):
+        q = get_query("q8")
+        p = naive_program(q)
+        assert p.num_sets == q.size
+
+    def test_motioned_single_op(self):
+        for name in ["q1", "q5", "q8", "q13"]:
+            p = motioned_program(get_query(name), vertex_induced=True)
+            assert p.is_single_op()
+
+    def test_naive_clique_has_long_chains(self):
+        p = naive_program(get_query("q8"))
+        # last level: base N(0) plus 3 further intersections
+        assert p.max_chain_length == 3
+
+    def test_motion_dedups_prefixes_for_clique(self):
+        # clique chains share all prefixes: sets = 1 (ALL) + k-1 prefixes
+        q = get_query("q8")
+        p = motioned_program(q)
+        assert p.num_sets == q.size
+
+    def test_motion_lifts_invariants(self):
+        # Fig. 2 example: candidate set of the last level must be
+        # computable before the last level (the lifted N(v0)∩N(v1)∩N(v2)
+        # chain shares its prefix with earlier sets)
+        q = fig2_query()
+        p = motioned_program(q)
+        lifted = [
+            r for r in p.recipes
+            if r.is_candidate_for >= 0 and r.level < r.is_candidate_for
+        ]
+        assert lifted, "code motion should lift at least one candidate set"
+
+    def test_num_sets_bounded_for_paper_queries(self):
+        # Sec. VIII-A: NUM_SETS <= 15 for queries of up to 7 nodes
+        for i in range(1, 25):
+            p = motioned_program(get_query(f"q{i}"), vertex_induced=False)
+            assert p.num_sets <= 15, f"q{i} has {p.num_sets} sets"
+
+    def test_consumers(self):
+        p = motioned_program(get_query("q8"))
+        # in a clique chain every prefix feeds the next
+        for sid, r in enumerate(p.recipes):
+            if r.base is BaseKind.REF:
+                assert sid in p.consumers(r.base_arg)
+
+
+class TestCompactEncoding:
+    def test_roundtrip_fields(self):
+        p = motioned_program(get_query("q8"))
+        c = p.to_compact()
+        assert c.row_ptr[-1] == p.num_sets
+        assert c.set_ops.shape == (p.num_sets, 4)
+
+    def test_edge_induced_is_pure_paper_triple(self):
+        # edge-induced programs never need the operand-position
+        # extension: every op combines with N(v_{l-1})
+        for name in ["q1", "q5", "q8", "q13", "q16", "q24"]:
+            p = motioned_program(get_query(name), vertex_induced=False)
+            c = p.to_compact()
+            for slot in range(c.num_sets):
+                _, _, dep, operand_pos = c.set_ops[slot]
+                if dep >= 0 and operand_pos != -1:  # a real op (not
+                    # universe/copy/alias)
+                    assert operand_pos == c.level_of_slot(slot) - 1
+
+    def test_tens_of_bytes(self):
+        # the paper stores the two arrays in shared memory: "tens of bytes"
+        for name in ["q8", "q16", "q24", "q13"]:
+            c = motioned_program(get_query(name)).to_compact()
+            assert c.nbytes <= 256
+
+    def test_naive_rejected(self):
+        p = naive_program(get_query("q8"))
+        with pytest.raises(ValueError):
+            p.to_compact()
+
+    def test_first_operand_flags(self):
+        # copies (C = N(v_{l-1})) carry flag 1; single-op sets put the
+        # lifted dependency first => flag 0 (the paper's Fig. 9b rules)
+        c = motioned_program(get_query("q8")).to_compact()
+        # q8 clique: slot 0 = universe, slot 1 = copy N(0), rest are ops
+        assert c.set_ops[1, 0] == 1
+        assert (c.set_ops[2:, 0] == 0).all()
+
+    def test_candidate_slots_and_levels(self):
+        p = motioned_program(get_query("q5"), vertex_induced=True)
+        c = p.to_compact()
+        assert c.candidate_slots.size == p.num_levels
+        for l in range(p.num_levels):
+            assert c.level_of_slot(int(c.candidate_slots[l])) <= l
+
+
+class TestCompactInterpreter:
+    """The compact arrays must carry everything a matcher needs."""
+
+    @pytest.mark.parametrize("name", ["q1", "q2", "q5", "q7", "q8"])
+    @pytest.mark.parametrize("vi", [False, True])
+    def test_counts_match_oracle(self, name, vi):
+        from repro.baselines import count_matches_recursive
+        from repro.codemotion import count_matches_compact
+        from repro.graph import erdos_renyi
+        from repro.pattern import build_plan
+
+        g = erdos_renyi(28, 0.3, seed=17)
+        plan = build_plan(get_query(name), g, vertex_induced=vi)
+        assert count_matches_compact(g, plan) == count_matches_recursive(g, plan)
+
+    def test_labeled_counts(self):
+        import numpy as np
+
+        from repro.baselines import count_matches_recursive
+        from repro.codemotion import count_matches_compact
+        from repro.graph import assign_random_labels, erdos_renyi
+
+        from repro.pattern import build_plan
+
+        g = assign_random_labels(erdos_renyi(30, 0.35, seed=3), num_labels=3, seed=1)
+        q = get_query("q5").with_labels(np.array([0, 1, 2, 0, 1]))
+        plan = build_plan(q, g)
+        assert count_matches_compact(g, plan) == count_matches_recursive(g, plan)
+
+    def test_naive_plan_rejected(self):
+        from repro.codemotion import CompactMatcher
+        from repro.graph import erdos_renyi
+        from repro.pattern import build_plan
+
+        g = erdos_renyi(10, 0.3, seed=1)
+        plan = build_plan(get_query("q5"), g, code_motion=False)
+        with pytest.raises(ValueError):
+            CompactMatcher(g, plan)
+
+
+class TestLabeledPrograms:
+    def make_labeled(self):
+        q = fig2_query().with_labels([0, 1, 2, 3])
+        return q, motioned_program(q)
+
+    def test_candidate_filters_singleton(self):
+        q, p = self.make_labeled()
+        for l, sid in enumerate(p.candidate_of_level):
+            flt = p.recipes[sid].label_filter
+            assert flt is not None
+            assert int(q.labels[l]) in flt
+
+    def test_merged_filters_union_of_consumers(self):
+        q, p = self.make_labeled()
+        for sid, r in enumerate(p.recipes):
+            if r.base is BaseKind.REF:
+                dep = p.recipes[r.base_arg]
+                assert dep.label_filter is not None
+                assert r.label_filter is not None
+                assert r.label_filter <= dep.label_filter or dep.label_filter >= r.label_filter
+
+    def test_split_program_has_more_sets(self):
+        q = get_query("q16").with_labels([0, 1, 2, 3, 4, 5])
+        merged = motioned_program(q)
+        split = split_labeled_program(merged, q)
+        split.validate()
+        assert split.num_sets >= merged.num_sets
+
+    def test_split_sets_single_label(self):
+        q, p = self.make_labeled()
+        split = split_labeled_program(p, q)
+        for r in split.recipes:
+            if r.label_filter is not None:
+                assert len(r.label_filter) == 1
+
+    def test_footprint_accounting(self):
+        q, p = self.make_labeled()
+        fp8 = shared_memory_footprint(p, unroll=8)
+        fp1 = shared_memory_footprint(p, unroll=1)
+        assert fp8.csize_bytes == 8 * fp1.csize_bytes
+        assert fp8.total_bytes > fp1.total_bytes
+
+    def test_split_program_preserves_counts(self):
+        """The Fig. 10a layout must match exactly like the merged one."""
+        import dataclasses
+
+        import numpy as np
+
+        from repro import STMatchEngine
+        from repro.baselines import count_matches_recursive
+        from repro.graph import assign_random_labels, erdos_renyi
+        from repro.pattern import build_plan
+
+        g = assign_random_labels(erdos_renyi(32, 0.35, seed=9), num_labels=3, seed=2)
+        q = get_query("q5").with_labels(np.array([0, 1, 2, 0, 1]))
+        plan = build_plan(q, g, vertex_induced=True)
+        split = split_labeled_program(plan.program, plan.query)
+        split_plan = dataclasses.replace(plan, program=split)
+        ref = count_matches_recursive(g, plan)
+        assert STMatchEngine(g).run(split_plan).matches == ref
+
+    def test_split_clique_quadratic_growth(self):
+        # the paper's n(n-1)/2 lower bound shows up on cliques with
+        # distinct labels
+        q = get_query("q24").with_labels(list(range(7)))
+        merged = motioned_program(q)
+        split = split_labeled_program(merged, q)
+        assert split.num_sets >= 7 * 6 / 2
+
+    def test_merged_footprint_smaller_than_split(self):
+        q = get_query("q16").with_labels([0, 1, 2, 0, 1, 2])
+        merged = motioned_program(q)
+        split = split_labeled_program(merged, q)
+        assert (
+            shared_memory_footprint(merged).total_bytes
+            <= shared_memory_footprint(split).total_bytes
+        )
+
+
+class TestRecipeValidation:
+    def test_ops_must_increase(self):
+        with pytest.raises(ValueError):
+            SetRecipe(
+                base=BaseKind.NEIGHBORS, base_arg=0,
+                ops=(SetOp(OpKind.INTERSECT, 2), SetOp(OpKind.INTERSECT, 1)),
+                level=3,
+            )
+
+    def test_level_before_operands_rejected(self):
+        with pytest.raises(ValueError):
+            SetRecipe(base=BaseKind.NEIGHBORS, base_arg=3, ops=(), level=1)
+
+    def test_program_schedule_must_cover_all_sets(self):
+        r0 = SetRecipe(base=BaseKind.ALL, base_arg=-1, ops=(), level=0, is_candidate_for=0)
+        with pytest.raises(ValueError):
+            SetProgram(recipes=[r0], candidate_of_level=[0], sets_at_level=[[]], num_levels=1)

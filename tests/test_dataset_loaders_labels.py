@@ -1,0 +1,83 @@
+"""Tests for label assignment utilities and dataset label protocols."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    assign_degree_band_labels,
+    assign_random_labels,
+    erdos_renyi,
+    label_histogram,
+    load_dataset,
+    relabel_query_consistently,
+)
+
+
+class TestRandomLabels:
+    def test_deterministic(self):
+        g = erdos_renyi(50, 0.2, seed=1)
+        a = assign_random_labels(g, num_labels=10, seed=4)
+        b = assign_random_labels(g, num_labels=10, seed=4)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_label_range(self):
+        g = assign_random_labels(erdos_renyi(100, 0.1, seed=2), num_labels=10, seed=0)
+        assert g.labels.min() >= 0
+        assert g.labels.max() < 10
+
+    def test_roughly_uniform(self):
+        g = assign_random_labels(erdos_renyi(1000, 0.01, seed=3), num_labels=10, seed=1)
+        h = label_histogram(g)
+        assert h.min() > 50  # 100 expected per label
+
+    def test_bad_num_labels(self):
+        with pytest.raises(ValueError):
+            assign_random_labels(erdos_renyi(10, 0.2, seed=1), num_labels=0)
+
+
+class TestDegreeBandLabels:
+    def test_band_count(self):
+        g = assign_degree_band_labels(erdos_renyi(100, 0.15, seed=5), num_labels=4)
+        assert set(np.unique(g.labels)) <= set(range(4))
+
+    def test_high_degree_gets_high_band(self):
+        g = erdos_renyi(200, 0.1, seed=6)
+        gl = assign_degree_band_labels(g, num_labels=4)
+        deg = g.degree()
+        top = int(np.argmax(deg))
+        bottom = int(np.argmin(deg))
+        assert gl.labels[top] >= gl.labels[bottom]
+
+
+class TestLabelHistogram:
+    def test_counts(self):
+        g = erdos_renyi(9, 0.3, seed=1).with_labels([0, 1, 1, 2, 2, 2, 0, 1, 2])
+        h = label_histogram(g)
+        assert list(h) == [2, 3, 4]
+
+    def test_unlabeled_empty(self):
+        assert label_histogram(erdos_renyi(5, 0.5, seed=0)).size == 0
+
+
+class TestRelabelQueryConsistently:
+    def test_binds_to_occurring_labels(self):
+        g = load_dataset("mico", "tiny")
+        bound = relabel_query_consistently(np.array([0, 1, 2]), g, seed=0)
+        for lab in bound:
+            assert g.vertices_with_label(int(lab)).size > 0
+
+    def test_same_abstract_label_same_binding(self):
+        g = load_dataset("mico", "tiny")
+        bound = relabel_query_consistently(np.array([0, 1, 0, 1]), g, seed=3)
+        assert bound[0] == bound[2]
+        assert bound[1] == bound[3]
+
+    def test_unlabeled_graph_rejected(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        with pytest.raises(ValueError):
+            relabel_query_consistently(np.array([0]), g)
+
+    def test_too_many_abstract_labels(self):
+        g = erdos_renyi(10, 0.3, seed=1).with_labels([0] * 10)
+        with pytest.raises(ValueError):
+            relabel_query_consistently(np.array([0, 1, 2]), g)

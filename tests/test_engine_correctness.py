@@ -1,0 +1,203 @@
+"""Integration tests: the STMatch engine against the reference oracle.
+
+These are the core correctness guarantees — every engine configuration
+(stealing variants, unroll sizes, code motion on/off, labeled/unlabeled,
+edge-/vertex-induced) must count exactly what Algorithm 1 counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, STMatchEngine, get_query
+from repro.baselines import count_matches_recursive, count_via_networkx
+from repro.graph import assign_random_labels, erdos_renyi, powerlaw_cluster
+from repro.graph.labels import relabel_query_consistently
+from repro.pattern import QueryGraph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return erdos_renyi(36, 0.25, seed=13)
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    return powerlaw_cluster(70, m=3, p_triangle=0.6, seed=5)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q4", "q5", "q7", "q8"])
+    @pytest.mark.parametrize("vertex_induced", [False, True])
+    def test_size5_queries(self, small_graph, name, vertex_induced):
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(get_query(name), vertex_induced=vertex_induced)
+        assert eng.run(plan).matches == count_matches_recursive(small_graph, plan)
+
+    @pytest.mark.parametrize("name", ["q9", "q13", "q16"])
+    def test_size6_queries(self, small_graph, name):
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(get_query(name))
+        assert eng.run(plan).matches == count_matches_recursive(small_graph, plan)
+
+    def test_size7_clique(self, skewed_graph):
+        eng = STMatchEngine(skewed_graph)
+        plan = eng.plan(get_query("q24"))
+        assert eng.run(plan).matches == count_matches_recursive(skewed_graph, plan)
+
+    @pytest.mark.parametrize("name", ["q2", "q7"])
+    def test_embedding_mode(self, small_graph, name):
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(get_query(name), symmetry_breaking=False)
+        got = eng.run(plan).matches
+        assert got == count_via_networkx(small_graph, get_query(name), count_embeddings=True)
+
+
+class TestConfigurations:
+    CONFIGS = [
+        ("naive", EngineConfig.naive()),
+        ("localsteal", EngineConfig.localsteal()),
+        ("local+global", EngineConfig.local_global_steal()),
+        ("full", EngineConfig.full()),
+        ("no-motion", EngineConfig(code_motion=False)),
+        ("unroll-2", EngineConfig(unroll=2)),
+        ("unroll-16", EngineConfig(unroll=16)),
+        ("chunk-1", EngineConfig(chunk_size=1)),
+        ("stop-0", EngineConfig(stop_level=0)),
+        ("stop-4", EngineConfig(stop_level=4, detect_level=4)),
+    ]
+
+    @pytest.mark.parametrize("label,cfg", CONFIGS, ids=[c[0] for c in CONFIGS])
+    def test_all_configs_agree(self, skewed_graph, label, cfg):
+        q = get_query("q7")
+        ref_plan = STMatchEngine(skewed_graph).plan(q)
+        ref = count_matches_recursive(skewed_graph, ref_plan)
+        assert STMatchEngine(skewed_graph, cfg).run(q).matches == ref
+
+    def test_tiny_device(self, small_graph):
+        from repro.virtgpu.device import DeviceConfig
+
+        cfg = EngineConfig(device=DeviceConfig(num_blocks=1, warps_per_block=2))
+        q = get_query("q5")
+        ref = count_matches_recursive(small_graph, STMatchEngine(small_graph).plan(q))
+        assert STMatchEngine(small_graph, cfg).run(q).matches == ref
+
+    def test_single_warp_device(self, small_graph):
+        from repro.virtgpu.device import DeviceConfig
+
+        cfg = EngineConfig(device=DeviceConfig(num_blocks=1, warps_per_block=1))
+        q = get_query("q2")
+        ref = count_matches_recursive(small_graph, STMatchEngine(small_graph).plan(q))
+        assert STMatchEngine(small_graph, cfg).run(q).matches == ref
+
+
+class TestLabeled:
+    @pytest.fixture(scope="class")
+    def labeled_graph(self):
+        return assign_random_labels(erdos_renyi(40, 0.3, seed=9), num_labels=4, seed=3)
+
+    @pytest.mark.parametrize("vertex_induced", [False, True])
+    def test_labeled_counts(self, labeled_graph, vertex_induced):
+        q = get_query("q5")
+        lab = relabel_query_consistently(np.array([0, 1, 2, 0, 1]), labeled_graph, seed=2)
+        ql = q.with_labels(lab)
+        eng = STMatchEngine(labeled_graph)
+        plan = eng.plan(ql, vertex_induced=vertex_induced)
+        assert eng.run(plan).matches == count_matches_recursive(labeled_graph, plan)
+
+    def test_labeled_no_motion_agrees(self, labeled_graph):
+        q = get_query("q5").with_labels(
+            relabel_query_consistently(np.array([0, 0, 1, 1, 2]), labeled_graph, seed=4)
+        )
+        a = STMatchEngine(labeled_graph, EngineConfig()).run(q).matches
+        b = STMatchEngine(labeled_graph, EngineConfig(code_motion=False)).run(q).matches
+        assert a == b
+
+    def test_unsatisfiable_label(self, labeled_graph):
+        # a label value that exists keeps counts >= 0; a non-occurring
+        # label yields zero matches
+        q = get_query("q1").with_labels([99, 99, 99, 99, 99])
+        assert STMatchEngine(labeled_graph).run(q).matches == 0
+
+    def test_labeled_plan_on_unlabeled_graph_rejected(self, small_graph):
+        q = get_query("q1").with_labels([0, 0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            STMatchEngine(small_graph).run(q)
+
+
+class TestEnumeration:
+    def test_callback_receives_valid_matches(self, small_graph):
+        q = get_query("q2")  # 5-cycle
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(q)
+        seen = []
+        res = eng.run(plan, on_match=seen.append)
+        assert len(seen) == res.matches
+        rq = plan.query
+        for m in seen[:50]:
+            assert len(set(m)) == len(m)  # injective
+            for i in range(len(m)):
+                for j in range(i + 1, len(m)):
+                    if rq.adj[i, j]:
+                        assert small_graph.has_edge(m[i], m[j])
+
+    def test_callback_matches_are_unique(self, small_graph):
+        q = get_query("q7")
+        eng = STMatchEngine(small_graph)
+        seen = []
+        eng.run(q, on_match=seen.append)
+        assert len(seen) == len(set(seen))
+
+    def test_vertex_induced_callback_excludes_extra_edges(self, small_graph):
+        q = get_query("q1")  # path5: vertex-induced forbids chords
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(q, vertex_induced=True)
+        seen = []
+        eng.run(plan, on_match=seen.append)
+        rq = plan.query
+        for m in seen[:50]:
+            for i in range(len(m)):
+                for j in range(i + 1, len(m)):
+                    assert small_graph.has_edge(m[i], m[j]) == bool(rq.adj[i, j])
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(10, [])
+        assert STMatchEngine(g).run(get_query("q1")).matches == 0
+
+    def test_single_vertex_query(self, small_graph):
+        q = QueryGraph.from_edges(1, [])
+        res = STMatchEngine(small_graph).run(q)
+        assert res.matches == small_graph.num_vertices
+
+    def test_two_vertex_query_counts_edges(self, small_graph):
+        q = QueryGraph.from_edges(2, [(0, 1)])
+        res = STMatchEngine(small_graph).run(q)
+        assert res.matches == small_graph.num_edges  # sym-break: each edge once
+
+    def test_query_larger_than_any_match(self):
+        g = erdos_renyi(12, 0.1, seed=1)
+        assert STMatchEngine(g).run(get_query("q24")).matches == 0
+
+    def test_budget_truncates(self, small_graph):
+        from repro.core.counters import RunStatus
+
+        cfg = EngineConfig(max_results=10)
+        res = STMatchEngine(small_graph, cfg).run(get_query("q1"))
+        assert res.status == RunStatus.BUDGET
+        assert res.matches >= 10
+
+    def test_root_range_partition_covers_everything(self, small_graph):
+        q = get_query("q5")
+        eng = STMatchEngine(small_graph)
+        plan = eng.plan(q)
+        full = eng.run(plan).matches
+        from repro.core.candidates import CandidateComputer
+
+        n_roots = CandidateComputer(small_graph, plan, eng.config).root_candidates.size
+        mid = n_roots // 2
+        a = eng.run(plan, root_range=(0, mid)).matches
+        b = eng.run(plan, root_range=(mid, n_roots)).matches
+        assert a + b == full

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are executed in-process (importing their ``main``) against the
+cached tiny/small datasets; stdout is captured, so failures surface as
+exceptions, not prints.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, monkeypatch, capsys) -> str:
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart", monkeypatch, capsys)
+        assert "matches found" in out
+        assert "plan for q7" in out
+
+    def test_motif_counting(self, monkeypatch, capsys):
+        out = run_example("motif_counting", monkeypatch, capsys)
+        assert "clique" in out
+        assert "total vertex-induced 4-motifs" in out
+
+    def test_labeled_social_network(self, monkeypatch, capsys):
+        out = run_example("labeled_social_network", monkeypatch, capsys)
+        assert "stmatch" in out and "gsi" in out and "dryadic" in out
+
+    def test_distributed_cluster(self, monkeypatch, capsys):
+        out = run_example("distributed_cluster", monkeypatch, capsys)
+        assert "cluster shape sweep" in out
+        assert "network sensitivity" in out

@@ -1,0 +1,127 @@
+"""Unit tests for GraphBuilder and graph IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, load_labeled_graph, load_npz, load_snap_edgelist, save_npz
+from repro.graph.io import dumps_edgelist
+
+
+class TestGraphBuilder:
+    def test_add_edges_and_build(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build("t")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.name == "t"
+
+    def test_bulk_add(self):
+        b = GraphBuilder()
+        b.add_edges(np.array([[0, 1], [2, 3], [1, 2]]))
+        assert b.num_pending_edges == 3
+        g = b.build()
+        assert g.num_edges == 3
+
+    def test_labels(self):
+        b = GraphBuilder().add_edge(0, 1)
+        b.set_label(0, 5).set_label(1, 2)
+        g = b.build()
+        assert g.label_of(0) == 5
+        assert g.label_of(1) == 2
+
+    def test_label_creates_isolated_vertex(self):
+        b = GraphBuilder().add_edge(0, 1).set_label(4, 1)
+        g = b.build()
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_compact_ids(self):
+        b = GraphBuilder(compact_ids=True)
+        b.add_edge(100, 200).add_edge(200, 300)
+        g = b.build()
+        assert g.num_vertices == 3
+        assert b.id_map == {100: 0, 200: 1, 300: 2}
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_explicit_n(self):
+        g = GraphBuilder().add_edge(0, 1).set_num_vertices(10).build()
+        assert g.num_vertices == 10
+
+    def test_explicit_n_too_small(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(0, 5).set_num_vertices(3).build()
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(-1, 0).build()
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().set_label(0, -2)
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+
+
+class TestSnapLoader:
+    def test_basic_parse(self):
+        text = "# comment\n% another\n0 1\n1 2\n2 0\n"
+        g = load_snap_edgelist(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_sparse_ids_compacted(self):
+        g = load_snap_edgelist(io.StringIO("10 30\n30 50\n"))
+        assert g.num_vertices == 3
+
+    def test_directed(self):
+        g = load_snap_edgelist(io.StringIO("0 1\n"), directed=True, compact_ids=False)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_roundtrip_via_dumps(self):
+        g = load_snap_edgelist(io.StringIO("0 1\n1 2\n"))
+        text = dumps_edgelist(g)
+        g2 = load_snap_edgelist(io.StringIO(text))
+        assert sorted(g2.edges()) == sorted(g.edges())
+
+
+class TestLabeledLoader:
+    def test_v_e_format(self):
+        text = "t # 0\nv 0 1\nv 1 2\nv 2 1\ne 0 1\ne 1 2\n"
+        g = load_labeled_graph(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.label_of(1) == 2
+        assert g.has_edge(0, 1)
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(ValueError):
+            load_labeled_graph(io.StringIO("x 1 2\n"))
+
+    def test_short_vertex_line_rejected(self):
+        with pytest.raises(ValueError):
+            load_labeled_graph(io.StringIO("v 0\n"))
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], labels=[0, 1, 0, 1], name="rt")
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert g2.name == "rt"
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert np.array_equal(g2.labels, g.labels)
+
+    def test_unlabeled_roundtrip(self, tmp_path):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(3, [(0, 2)], directed=True)
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert g2.directed
+        assert g2.labels is None

@@ -1,0 +1,149 @@
+"""Unit tests for synthetic graph generators and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chung_lu,
+    compute_stats,
+    dataset_names,
+    degree_histogram,
+    erdos_renyi,
+    load_dataset,
+    powerlaw_cluster,
+    random_regular_ish,
+    rmat,
+)
+
+
+class TestGenerators:
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi(50, 0.1, seed=1)
+        b = erdos_renyi(50, 0.1, seed=1)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_erdos_renyi_seed_changes_graph(self):
+        a = erdos_renyi(50, 0.1, seed=1)
+        b = erdos_renyi(50, 0.1, seed=2)
+        assert not (np.array_equal(a.indices, b.indices) and a.num_edges == b.num_edges)
+
+    def test_erdos_renyi_density(self):
+        g = erdos_renyi(100, 0.2, seed=0)
+        expected = 0.2 * 100 * 99 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_erdos_renyi_p_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_rmat_shape(self):
+        g = rmat(7, edge_factor=4, seed=3)
+        assert g.num_vertices == 128
+        assert g.num_edges > 100
+        # R-MAT with Graph500 params is skewed
+        assert g.max_degree() > 4 * g.median_degree()
+
+    def test_rmat_bad_params(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.4, c=0.3)
+
+    def test_chung_lu_power_law(self):
+        g = chung_lu(300, avg_degree=6.0, exponent=2.3, seed=5)
+        deg = g.degree()
+        assert deg.max() > 3 * np.median(deg)
+
+    def test_powerlaw_cluster_validates(self):
+        g = powerlaw_cluster(120, m=4, p_triangle=0.5, seed=7)
+        g.validate()
+        assert g.num_vertices == 120
+        assert g.num_edges >= 4 * (120 - 5)
+
+    def test_powerlaw_cluster_bad_m(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, m=10)
+
+    def test_powerlaw_cluster_has_triangles(self):
+        g = powerlaw_cluster(100, m=3, p_triangle=0.9, seed=1)
+        # count triangles crudely via networkx
+        import networkx as nx
+
+        assert sum(nx.triangles(g.to_networkx()).values()) > 0
+
+    def test_random_regular_ish_degrees(self):
+        g = random_regular_ish(100, 6, seed=2)
+        deg = g.degree()
+        # near-regular: small spread
+        assert deg.max() - deg.min() <= 6
+
+    def test_random_regular_degree_bound(self):
+        with pytest.raises(ValueError):
+            random_regular_ish(5, 5)
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        names = dataset_names()
+        for expected in ["wiki_vote", "enron", "youtube", "mico",
+                         "livejournal", "orkut", "friendster"]:
+            assert expected in names
+
+    def test_tier_filter(self):
+        assert "orkut" in dataset_names(tier="large")
+        assert "wiki_vote" not in dataset_names(tier="large")
+
+    def test_load_is_cached(self):
+        a = load_dataset("wiki_vote", "tiny")
+        b = load_dataset("wiki_vote", "tiny")
+        assert a is b
+
+    def test_mico_is_labeled(self):
+        g = load_dataset("mico", "tiny")
+        assert g.is_labeled
+        assert g.num_labels == 10
+
+    def test_labeled_override(self):
+        g = load_dataset("wiki_vote", "tiny", labeled=True)
+        assert g.is_labeled
+        g2 = load_dataset("mico", "tiny", labeled=False)
+        assert not g2.is_labeled
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            load_dataset("wiki_vote", scale="huge")
+
+    def test_median_degree_below_warp_width(self):
+        # Table I property the loop-unrolling motivation relies on
+        for name in ["wiki_vote", "enron", "youtube"]:
+            g = load_dataset(name, "tiny")
+            assert g.median_degree() < 32
+
+
+class TestStats:
+    def test_compute_stats_fields(self):
+        g = load_dataset("wiki_vote", "tiny")
+        s = compute_stats(g)
+        assert s.num_vertices == g.num_vertices
+        assert s.num_edges == g.num_edges
+        assert s.max_degree == g.max_degree()
+        assert 0.0 <= s.frac_degree_over <= 1.0
+
+    def test_degree_cap_fraction(self):
+        g = erdos_renyi(50, 0.5, seed=0)
+        s = compute_stats(g, degree_cap=1)
+        assert s.frac_degree_over > 0.9
+
+    def test_degree_histogram_sums_to_n(self):
+        g = erdos_renyi(60, 0.1, seed=4)
+        h = degree_histogram(g)
+        assert h.sum() == g.num_vertices
+
+    def test_stats_row_format(self):
+        s = compute_stats(load_dataset("enron", "tiny"))
+        row = s.row()
+        assert row[0] == "enron"
+        assert row[-1].endswith("%")

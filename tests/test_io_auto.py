@@ -1,0 +1,64 @@
+"""Dispatch and edge-case tests for graph file IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, load_auto, save_npz
+
+
+class TestLoadAuto:
+    def test_npz_dispatch(self, tmp_path):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], name="x")
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        g2 = load_auto(p)
+        assert sorted(g2.edges()) == sorted(g.edges())
+
+    def test_labeled_dispatch(self, tmp_path):
+        p = tmp_path / "g.lg"
+        p.write_text("v 0 1\nv 1 2\ne 0 1\n")
+        g = load_auto(p)
+        assert g.is_labeled and g.has_edge(0, 1)
+
+    def test_graph_extension_dispatch(self, tmp_path):
+        p = tmp_path / "g.graph"
+        p.write_text("v 0 0\nv 1 0\ne 0 1\n")
+        assert load_auto(p).num_edges == 1
+
+    def test_edgelist_dispatch(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# c\n0 1\n1 2\n")
+        g = load_auto(p)
+        assert g.num_edges == 2
+
+    def test_snap_extra_columns_ignored(self, tmp_path):
+        p = tmp_path / "w.txt"
+        p.write_text("0 1 7.5\n1 2 3.0\n")
+        g = load_auto(p)
+        assert g.num_edges == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_auto(tmp_path / "nope.txt")
+
+
+class TestNpzEdgeCases:
+    def test_empty_graph_roundtrip(self, tmp_path):
+        from repro.graph import load_npz
+
+        g = CSRGraph.from_edges(3, [])
+        p = tmp_path / "e.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert g2.num_vertices == 3 and g2.num_edges == 0
+
+    def test_large_ids_roundtrip(self, tmp_path):
+        from repro.graph import load_npz
+
+        n = 70000
+        g = CSRGraph.from_edges(n, [(0, n - 1), (n - 2, n - 1)])
+        p = tmp_path / "big.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert g2.has_edge(0, n - 1)
+        assert g2.indices.dtype == np.int32

@@ -1,0 +1,173 @@
+"""Unit tests for the kernel driver and the two-level work stealing."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, STMatchEngine, get_query
+from repro.baselines import count_matches_recursive
+from repro.core.kernel import ChunkIterator
+from repro.core.stealing import GlobalStealBoard, PendingWork
+from repro.core.stack import StolenWork
+from repro.graph import powerlaw_cluster, random_regular_ish
+from repro.virtgpu.device import DeviceConfig
+
+
+class TestChunkIterator:
+    def test_chunks_cover_range(self):
+        it = ChunkIterator(total=10, chunk_size=3)
+        chunks = []
+        while (c := it.next_chunk()) is not None:
+            chunks.append(c)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert it.exhausted
+
+    def test_start_offset(self):
+        it = ChunkIterator(total=10, chunk_size=4, start=8)
+        assert it.next_chunk() == (8, 10)
+        assert it.next_chunk() is None
+
+    def test_empty_range(self):
+        it = ChunkIterator(total=0, chunk_size=4)
+        assert it.next_chunk() is None
+
+
+class TestGlobalStealBoard:
+    def board(self):
+        return GlobalStealBoard(num_blocks=3, warps_per_block=2)
+
+    def test_idle_tracking(self):
+        b = self.board()
+        b.mark_idle(0, 0)
+        assert not b.block_fully_idle(0)
+        b.mark_idle(0, 1)
+        assert b.block_fully_idle(0)
+        b.clear_idle(0, 0)
+        assert not b.block_fully_idle(0)
+
+    def test_find_idle_block_excludes_self(self):
+        b = self.board()
+        b.mark_idle(1, 0)
+        b.mark_idle(1, 1)
+        assert b.find_idle_block(exclude_block=1) is None
+        assert b.find_idle_block(exclude_block=0) == 1
+
+    def test_find_idle_block_requires_empty_slot(self):
+        b = self.board()
+        b.mark_idle(2, 0)
+        b.mark_idle(2, 1)
+        b.deposit(2, StolenWork(frames=[], copied_elems=0), 0.0, 0)
+        assert b.find_idle_block(exclude_block=0) is None
+
+    def test_double_deposit_rejected(self):
+        b = self.board()
+        b.deposit(0, StolenWork(frames=[], copied_elems=0), 0.0, 0)
+        with pytest.raises(ValueError):
+            b.deposit(0, StolenWork(frames=[], copied_elems=0), 0.0, 1)
+
+    def test_take_clears_slot(self):
+        b = self.board()
+        b.deposit(0, StolenWork(frames=[], copied_elems=3), 5.0, 7)
+        pw = b.take(0)
+        assert isinstance(pw, PendingWork)
+        assert pw.pusher_warp == 7
+        assert b.take(0) is None
+        assert not b.has_pending
+
+
+class TestStealingBehavior:
+    """Behavioral checks: stealing must help where the paper says it does."""
+
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        # heavy-tailed graph: the load-imbalance case work stealing targets
+        return powerlaw_cluster(150, m=4, p_triangle=0.6, seed=3)
+
+    @pytest.fixture(scope="class")
+    def regular(self):
+        # near-regular graph: no skew, stealing should be ~neutral; large
+        # enough that fixed launch/steal overheads do not dominate
+        return random_regular_ish(400, 8, seed=3)
+
+    def test_local_steal_speeds_up_skewed(self, skewed):
+        q = get_query("q7")
+        t_naive = STMatchEngine(skewed, EngineConfig.naive()).run(q)
+        t_local = STMatchEngine(skewed, EngineConfig.localsteal()).run(q)
+        assert t_local.matches == t_naive.matches
+        assert t_local.sim_ms < t_naive.sim_ms
+        assert t_local.num_local_steals > 0
+
+    def test_global_steal_adds_on_top(self, skewed):
+        q = get_query("q7")
+        t_local = STMatchEngine(skewed, EngineConfig.localsteal()).run(q)
+        t_lg = STMatchEngine(skewed, EngineConfig.local_global_steal()).run(q)
+        assert t_lg.matches == t_local.matches
+        assert t_lg.num_global_steals > 0
+        # paper: global stealing helps or is ~neutral (small overhead)
+        assert t_lg.sim_ms <= t_local.sim_ms * 1.25
+
+    def test_occupancy_improves_with_stealing(self, skewed):
+        q = get_query("q7")
+        occ_naive = STMatchEngine(skewed, EngineConfig.naive()).run(q).occupancy
+        occ_lg = STMatchEngine(skewed, EngineConfig.local_global_steal()).run(q).occupancy
+        assert occ_lg > occ_naive
+
+    def test_stealing_neutral_on_regular_graph(self, regular):
+        q = get_query("q7")
+        t_naive = STMatchEngine(regular, EngineConfig.naive()).run(q)
+        t_lg = STMatchEngine(regular, EngineConfig.local_global_steal()).run(q)
+        assert t_lg.matches == t_naive.matches
+        # no skew: stealing may still trim the tail but must not hurt much
+        assert t_lg.sim_ms <= t_naive.sim_ms * 1.3
+
+    def test_steal_counts_zero_when_disabled(self, skewed):
+        res = STMatchEngine(skewed, EngineConfig.naive()).run(get_query("q5"))
+        assert res.num_local_steals == 0
+        assert res.num_global_steals == 0
+
+    def test_localsteal_only_never_global(self, skewed):
+        res = STMatchEngine(skewed, EngineConfig.localsteal()).run(get_query("q5"))
+        assert res.num_global_steals == 0
+
+
+class TestUnrolling:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return powerlaw_cluster(120, m=4, p_triangle=0.5, seed=8)
+
+    def test_utilization_monotone_in_unroll(self, graph):
+        """Fig. 13: larger unroll ⇒ higher intra-warp utilization."""
+        q = get_query("q7")
+        utils = []
+        for u in (1, 2, 4, 8):
+            cfg = EngineConfig(unroll=u)
+            utils.append(STMatchEngine(graph, cfg).run(q).thread_utilization)
+        assert all(b >= a for a, b in zip(utils, utils[1:])), utils
+
+    def test_unroll_reduces_rounds(self, graph):
+        q = get_query("q7")
+        r1 = STMatchEngine(graph, EngineConfig(unroll=1)).run(q)
+        r8 = STMatchEngine(graph, EngineConfig(unroll=8)).run(q)
+        assert r8.counters.rounds < r1.counters.rounds
+        assert r8.matches == r1.matches
+
+
+class TestKernelAccounting:
+    def test_single_kernel_launch_charged(self):
+        g = powerlaw_cluster(80, m=3, seed=1)
+        res = STMatchEngine(g).run(get_query("q5"))
+        # every warp pays exactly one launch; idle+busy >= launch cycles
+        agg = res.counters
+        cfg = EngineConfig()
+        n_warps = cfg.device.num_warps
+        assert agg.idle_cycles >= cfg.device.cost.kernel_launch * n_warps
+
+    def test_makespan_at_least_launch(self):
+        g = powerlaw_cluster(80, m=3, seed=1)
+        res = STMatchEngine(g).run(get_query("q5"))
+        assert res.cycles >= EngineConfig().device.cost.kernel_launch
+
+    def test_tree_nodes_counted(self):
+        g = powerlaw_cluster(80, m=3, seed=1)
+        res = STMatchEngine(g).run(get_query("q5"))
+        assert res.counters.tree_nodes > 0
+        assert res.counters.matches == res.matches

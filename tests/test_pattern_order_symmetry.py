@@ -1,0 +1,136 @@
+"""Unit tests for matching orders and symmetry breaking."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.pattern import (
+    QueryGraph,
+    build_plan,
+    exhaustive_order,
+    get_query,
+    greedy_order,
+    is_connected_order,
+    num_automorphisms,
+    partial_order_matrix,
+    restrictions_by_level,
+    restrictions_for,
+    validate_order,
+)
+from repro.baselines import count_matches_recursive, count_via_networkx
+
+
+class TestMatchingOrder:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q5", "q8", "q10", "q13", "q15"])
+    def test_greedy_order_connected(self, name):
+        q = get_query(name)
+        order = greedy_order(q)
+        assert is_connected_order(q, order)
+        assert sorted(order) == list(range(q.size))
+
+    def test_greedy_starts_dense(self):
+        q = get_query("q7")  # triangle with tail: triangle vertex has deg 3
+        order = greedy_order(q)
+        degs = [q.degree(u) for u in range(q.size)]
+        assert q.degree(order[0]) == max(degs)
+
+    @pytest.mark.parametrize("name", ["q1", "q5", "q8"])
+    def test_exhaustive_order_connected(self, name):
+        q = get_query(name)
+        order = exhaustive_order(q)
+        assert is_connected_order(q, order)
+
+    def test_exhaustive_prefers_dense_start_for_cliquish(self):
+        # the cost model must never start a clique query from a leaf of
+        # a tailed pattern — check q7: starting in the triangle is cheaper
+        q = get_query("q7")
+        order = exhaustive_order(q, avg_degree=8, num_vertices=1000)
+        tri = {0, 1, 2}
+        assert order[0] in tri and order[1] in tri
+
+    def test_validate_order_rejects_disconnected(self):
+        q = get_query("q1")  # path 0-1-2-3-4
+        with pytest.raises(ValueError):
+            validate_order(q, [0, 4, 1, 2, 3])
+
+    def test_validate_order_rejects_nonperm(self):
+        with pytest.raises(ValueError):
+            validate_order(get_query("q1"), [0, 0, 1, 2, 3])
+
+    def test_label_rarity_tiebreak(self):
+        q = QueryGraph.cycle(4).with_labels([0, 1, 0, 1])
+        freq = np.array([100, 2])  # label 1 is rare
+        order = greedy_order(q, label_frequency=freq)
+        assert q.labels[order[0]] == 1
+
+
+class TestRestrictions:
+    @pytest.mark.parametrize("factory", [
+        lambda: QueryGraph.clique(4),
+        lambda: QueryGraph.cycle(5),
+        lambda: QueryGraph.path(4),
+        lambda: QueryGraph.star(4),
+        lambda: get_query("q5"),
+        lambda: get_query("q13"),
+    ])
+    def test_restrictions_point_forward(self, factory):
+        q = factory()
+        for i, j in restrictions_for(q):
+            assert i < j
+
+    def test_clique_total_order(self):
+        # a k-clique's restrictions must force a strictly increasing match
+        q = QueryGraph.clique(5)
+        by_level = restrictions_by_level(q)
+        for j in range(1, 5):
+            assert j - 1 in by_level[j]
+
+    def test_path_single_restriction(self):
+        # path 0-1-2 relabeled in order has Aut = {id, reverse}: 1 orbit pair
+        q = QueryGraph.path(3).relabeled([1, 0, 2])  # center first: connected order
+        rs = restrictions_for(q)
+        assert len(rs) == 1
+
+    def test_asymmetric_query_no_restrictions(self):
+        # q7's triangle+tail in matching order: only trivial symmetry...
+        q = get_query("q7")
+        order = greedy_order(q)
+        rq = q.relabeled(order)
+        n_aut = num_automorphisms(rq)
+        rs = restrictions_for(rq)
+        if n_aut == 1:
+            assert rs == []
+
+    def test_partial_order_matrix_consistent(self):
+        q = QueryGraph.clique(4)
+        m = partial_order_matrix(q)
+        assert m.sum() == len(restrictions_for(q))
+
+    def test_labels_reduce_restrictions(self):
+        unl = QueryGraph.clique(3)
+        lab = unl.with_labels([0, 0, 1])
+        assert len(restrictions_for(lab)) < len(restrictions_for(unl))
+
+
+class TestCountingIdentity:
+    """The defining property: restricted count == embeddings / |Aut|."""
+
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q5", "q7", "q8"])
+    @pytest.mark.parametrize("vertex_induced", [False, True])
+    def test_subgraphs_equal_embeddings_over_aut(self, name, vertex_induced):
+        g = erdos_renyi(24, 0.3, seed=11)
+        q = get_query(name)
+        plan_sb = build_plan(q, g, vertex_induced=vertex_induced, symmetry_breaking=True)
+        plan_em = build_plan(q, g, vertex_induced=vertex_induced, symmetry_breaking=False)
+        sub = count_matches_recursive(g, plan_sb)
+        emb = count_matches_recursive(g, plan_em)
+        n_aut = num_automorphisms(q)
+        assert emb == sub * n_aut
+
+    def test_against_networkx_labeled(self):
+        g = erdos_renyi(22, 0.35, seed=7).with_labels(
+            np.arange(22) % 3
+        )
+        q = QueryGraph.cycle(4).with_labels([0, 1, 0, 1])
+        plan = build_plan(q, g, vertex_induced=True)
+        assert count_matches_recursive(g, plan) == count_via_networkx(g, q, vertex_induced=True)

@@ -1,0 +1,144 @@
+"""Unit tests for QueryGraph and the q1–q24 motif registry."""
+
+import numpy as np
+import pytest
+
+from repro.pattern import QUERIES, QueryGraph, connected_motifs, get_query, query_names
+
+
+class TestQueryGraph:
+    def test_from_edges(self):
+        q = QueryGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert q.size == 3
+        assert q.num_edges == 2
+        assert list(q.neighbors(1)) == [0, 2]
+
+    def test_clique_factory(self):
+        q = QueryGraph.clique(4)
+        assert q.is_clique
+        assert q.num_edges == 6
+
+    def test_cycle_path_star(self):
+        assert QueryGraph.cycle(5).num_edges == 5
+        assert QueryGraph.path(5).num_edges == 4
+        assert QueryGraph.star(5).degree(0) == 4
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph.from_edges(2, [(0, 0)])
+
+    def test_asymmetric_adj_rejected(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = True
+        with pytest.raises(ValueError):
+            QueryGraph(adj=adj)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph.clique(9)
+
+    def test_relabeled_preserves_structure(self):
+        q = QueryGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        r = q.relabeled([2, 3, 0, 1])
+        assert r.num_edges == q.num_edges
+        assert q.is_isomorphic_to(r)
+
+    def test_relabeled_moves_labels(self):
+        q = QueryGraph.from_edges(3, [(0, 1), (1, 2)], labels=[7, 8, 9])
+        r = q.relabeled([2, 1, 0])
+        assert list(r.labels) == [9, 8, 7]
+
+    def test_relabeled_bad_order(self):
+        q = QueryGraph.path(3)
+        with pytest.raises(ValueError):
+            q.relabeled([0, 0, 1])
+
+    def test_hash_eq(self):
+        a = QueryGraph.path(4)
+        b = QueryGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert a == b and hash(a) == hash(b)
+        assert a != QueryGraph.cycle(4)
+
+    def test_labels_affect_equality(self):
+        a = QueryGraph.path(3).with_labels([0, 1, 0])
+        b = QueryGraph.path(3).with_labels([0, 1, 1])
+        assert a != b
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize("factory,expected", [
+        (lambda: QueryGraph.clique(4), 24),
+        (lambda: QueryGraph.cycle(5), 10),
+        (lambda: QueryGraph.path(4), 2),
+        (lambda: QueryGraph.star(5), 24),
+        (lambda: QueryGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)]), 6),
+    ])
+    def test_known_group_sizes(self, factory, expected):
+        assert len(factory().automorphisms()) == expected
+
+    def test_labels_break_symmetry(self):
+        tri = QueryGraph.clique(3)
+        assert len(tri.automorphisms()) == 6
+        labeled = tri.with_labels([0, 0, 1])
+        assert len(labeled.automorphisms()) == 2
+
+    def test_identity_always_present(self):
+        q = get_query("q5")
+        assert tuple(range(q.size)) in q.automorphisms()
+
+    def test_isomorphism_check(self):
+        a = QueryGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        b = QueryGraph.from_edges(4, [(0, 2), (2, 1), (1, 3), (3, 0)])
+        assert a.is_isomorphic_to(b)
+        assert not a.is_isomorphic_to(QueryGraph.path(4))
+
+
+class TestMotifRegistry:
+    def test_24_queries(self):
+        assert len(QUERIES) == 24
+        assert query_names() == [f"q{i}" for i in range(1, 25)]
+
+    def test_size_groups(self):
+        # q1-q8 size 5, q9-q16 size 6, q17-q24 size 7 (Sec. VIII-A)
+        assert all(QUERIES[f"q{i}"].size == 5 for i in range(1, 9))
+        assert all(QUERIES[f"q{i}"].size == 6 for i in range(9, 17))
+        assert all(QUERIES[f"q{i}"].size == 7 for i in range(17, 25))
+
+    def test_cliques_are_q8_q16_q24(self):
+        for name, k in [("q8", 5), ("q16", 6), ("q24", 7)]:
+            q = QUERIES[name]
+            assert q.is_clique and q.size == k
+
+    def test_all_queries_connected_and_distinct(self):
+        names = query_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                qa, qb = QUERIES[a], QUERIES[b]
+                if qa.size == qb.size:
+                    assert not qa.is_isomorphic_to(qb), (a, b)
+
+    def test_get_query_with_labels(self):
+        q = get_query("q1", labels=[0, 1, 0, 1, 0])
+        assert q.is_labeled
+
+    def test_get_query_unknown(self):
+        with pytest.raises(KeyError):
+            get_query("q99")
+
+    def test_query_names_by_size(self):
+        assert query_names(size=6) == [f"q{i}" for i in range(9, 17)]
+
+
+class TestConnectedMotifs:
+    @pytest.mark.parametrize("size,count", [(1, 1), (2, 1), (3, 2), (4, 6), (5, 21)])
+    def test_known_counts(self, size, count):
+        # OEIS A001349: connected graphs on n nodes
+        assert len(connected_motifs(size)) == count
+
+    def test_size_bound(self):
+        with pytest.raises(ValueError):
+            connected_motifs(6)

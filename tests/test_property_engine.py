@@ -1,0 +1,152 @@
+"""Property-based tests on engine-level invariants (hypothesis).
+
+Random small graphs and queries; the invariants are the load-bearing
+ones: engines agree with the oracle, stealing/unrolling/motion never
+change counts, the subgraph/embedding identity holds, and divide-and-
+copy preserves the exact multiset of remaining candidates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig, STMatchEngine
+from repro.baselines import DryadicEngine, count_matches_recursive
+from repro.core.stack import Frame, WarpStack, divide_and_copy
+from repro.graph import CSRGraph
+from repro.pattern import QueryGraph, build_plan, num_automorphisms
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_graph(draw, max_n=18):
+    n = draw(st.integers(4, max_n))
+    density = draw(st.floats(0.15, 0.5))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    mask = rng.random((n, n)) < density
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if mask[i, j]]
+    return CSRGraph.from_edges(n, edges)
+
+
+@st.composite
+def random_query(draw, max_k=5):
+    k = draw(st.integers(2, max_k))
+    # random connected query: random spanning tree + extra edges
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    edges = set()
+    for v in range(1, k):
+        edges.add((int(rng.integers(0, v)), v))
+    extra = draw(st.integers(0, k))
+    for _ in range(extra):
+        a, b = int(rng.integers(0, k)), int(rng.integers(0, k))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return QueryGraph.from_edges(k, sorted(edges))
+
+
+class TestEngineInvariants:
+    @given(g=random_graph(), q=random_query(), vi=st.booleans())
+    @SETTINGS
+    def test_engine_matches_oracle(self, g, q, vi):
+        eng = STMatchEngine(g)
+        plan = eng.plan(q, vertex_induced=vi)
+        assert eng.run(plan).matches == count_matches_recursive(g, plan)
+
+    @given(g=random_graph(), q=random_query())
+    @SETTINGS
+    def test_unroll_invariant(self, g, q):
+        r1 = STMatchEngine(g, EngineConfig(unroll=1)).run(q)
+        r8 = STMatchEngine(g, EngineConfig(unroll=8)).run(q)
+        assert r1.matches == r8.matches
+
+    @given(g=random_graph(), q=random_query())
+    @SETTINGS
+    def test_code_motion_invariant(self, g, q):
+        a = STMatchEngine(g, EngineConfig(code_motion=True)).run(q)
+        b = STMatchEngine(g, EngineConfig(code_motion=False)).run(q)
+        assert a.matches == b.matches
+
+    @given(g=random_graph(), q=random_query())
+    @SETTINGS
+    def test_stealing_invariant(self, g, q):
+        a = STMatchEngine(g, EngineConfig.naive()).run(q)
+        b = STMatchEngine(g, EngineConfig.full()).run(q)
+        assert a.matches == b.matches
+
+    @given(g=random_graph(), q=random_query())
+    @SETTINGS
+    def test_subgraph_embedding_identity(self, g, q):
+        eng = STMatchEngine(g)
+        sub = eng.run(eng.plan(q, symmetry_breaking=True)).matches
+        emb = eng.run(eng.plan(q, symmetry_breaking=False)).matches
+        assert emb == sub * num_automorphisms(q)
+
+    @given(g=random_graph(), q=random_query(), vi=st.booleans())
+    @SETTINGS
+    def test_dryadic_agrees_with_stmatch(self, g, q, vi):
+        st_res = STMatchEngine(g).run(q, vertex_induced=vi)
+        dr_res = DryadicEngine(g).run(q, vertex_induced=vi)
+        assert st_res.matches == dr_res.matches
+
+    @given(g=random_graph(max_n=14), q=random_query(max_k=4))
+    @SETTINGS
+    def test_labeled_engine_matches_oracle(self, g, q):
+        labels = (np.arange(g.num_vertices) * 7 % 3).astype(np.int32)
+        gl = g.with_labels(labels)
+        ql = q.with_labels((np.arange(q.size) % 3).astype(np.int32))
+        eng = STMatchEngine(gl)
+        plan = eng.plan(ql)
+        assert eng.run(plan).matches == count_matches_recursive(gl, plan)
+
+
+class TestDivideAndCopyProperty:
+    @st.composite
+    @staticmethod
+    def stack_strategy(draw):
+        depth = draw(st.integers(1, 4))
+        s = WarpStack()
+        for level in range(depth):
+            n_slots = 1 if level == 0 else draw(st.integers(1, 4))
+            cands = []
+            for _ in range(n_slots):
+                size = draw(st.integers(0, 10))
+                cands.append(np.sort(draw(st.lists(
+                    st.integers(0, 200), min_size=size, max_size=size, unique=True
+                ))).astype(np.int64) if size else np.empty(0, dtype=np.int64))
+            uiter = draw(st.integers(0, n_slots - 1))
+            it = draw(st.integers(0, max(0, cands[uiter].size)))
+            sv = (np.empty(0, dtype=np.int64) if level == 0
+                  else np.arange(1000 + level * 10, 1000 + level * 10 + n_slots))
+            s.push(Frame(level=level, slot_vertices=sv, cand=cands, uiter=uiter, iter=it))
+        return s
+
+    @given(stack=stack_strategy(), stop=st.integers(0, 3))
+    @SETTINGS
+    def test_split_preserves_remaining_multiset(self, stack, stop):
+        # snapshot the remaining candidates per level/slot before the split
+        before = {}
+        for f in stack.frames:
+            for u in range(f.nslots):
+                lo = f.iter if u == f.uiter else (0 if u > f.uiter else f.cand[u].size)
+                before[(f.level, u)] = sorted(f.cand[u][lo:].tolist())
+        work = divide_and_copy(stack, stop_level=stop)
+        after = {}
+        for f in stack.frames:
+            for u in range(f.nslots):
+                lo = f.iter if u == f.uiter else (0 if u > f.uiter else f.cand[u].size)
+                after.setdefault((f.level, u), []).extend(sorted(f.cand[u][lo:].tolist()))
+        for f in work.frames:
+            for u in range(f.nslots):
+                after.setdefault((f.level, u), []).extend(f.cand[u][f.iter:].tolist())
+        for key, orig in before.items():
+            level, u = key
+            if level > stop:
+                continue  # untouched levels trivially preserved
+            got = sorted(after.get(key, []))
+            assert got == orig, (key, orig, got)

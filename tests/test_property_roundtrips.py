@@ -1,0 +1,128 @@
+"""Property-based round-trip tests for storage substrates (hypothesis)."""
+
+import io
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PartialTrie
+from repro.graph import CSRGraph, load_labeled_graph, load_snap_edgelist
+from repro.graph.io import dumps_edgelist
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def edge_list(draw, max_n=25):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, n * 3))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    edges = [
+        (int(a), int(b))
+        for a, b in zip(rng.integers(0, n, m), rng.integers(0, n, m))
+        if a != b
+    ]
+    return n, edges
+
+
+class TestCsrProperties:
+    @given(edge_list())
+    @SETTINGS
+    def test_symmetry(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges)
+        for u, v in edges:
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+
+    @given(edge_list())
+    @SETTINGS
+    def test_neighbor_lists_sorted_unique(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges)
+        for v in range(n):
+            row = g.neighbors(v)
+            assert np.array_equal(row, np.unique(row))
+
+    @given(edge_list())
+    @SETTINGS
+    def test_degree_sum_is_twice_edges(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges)
+        assert int(g.degree().sum()) == 2 * g.num_edges
+
+    @given(edge_list())
+    @SETTINGS
+    def test_snap_text_roundtrip(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges)
+        text = dumps_edgelist(g)
+        g2 = load_snap_edgelist(io.StringIO(text), compact_ids=False)
+        # isolated trailing vertices are not representable in edge lists;
+        # compare edge sets
+        assert sorted(g2.edges()) == sorted(g.edges())
+
+    @given(edge_list())
+    @SETTINGS
+    def test_directed_reverse_involution(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges, directed=True)
+        rr = g.reversed_view().reversed_view()
+        assert np.array_equal(rr.indptr, g.indptr)
+        assert np.array_equal(rr.indices, g.indices)
+
+    @given(edge_list())
+    @SETTINGS
+    def test_reverse_preserves_arcs(self, ne):
+        n, edges = ne
+        g = CSRGraph.from_edges(n, edges, directed=True)
+        rev = g.reversed_view()
+        for u in range(n):
+            for v in g.neighbors(u):
+                assert rev.has_edge(int(v), u)
+
+
+class TestLabeledFormatRoundtrip:
+    @given(edge_list(max_n=15), st.integers(1, 4))
+    @SETTINGS
+    def test_v_e_roundtrip(self, ne, num_labels):
+        n, edges = ne
+        rng = np.random.default_rng(7)
+        labels = rng.integers(0, num_labels, n)
+        g = CSRGraph.from_edges(n, edges, labels=labels)
+        lines = [f"v {v} {int(labels[v])}" for v in range(n)]
+        lines += [f"e {u} {v}" for u, v in g.edges()]
+        g2 = load_labeled_graph(io.StringIO("\n".join(lines)))
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert np.array_equal(g2.labels[: n], labels)
+
+
+class TestTrieProperties:
+    @st.composite
+    @staticmethod
+    def tables(draw):
+        rows = draw(st.integers(1, 30))
+        cols = draw(st.integers(1, 5))
+        rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+        t = rng.integers(0, 20, size=(rows, cols)).astype(np.int32)
+        # group rows lexicographically: BFS produces prefix-grouped rows
+        order = np.lexsort(t.T[::-1])
+        return t[order]
+
+    @given(tables())
+    @SETTINGS
+    def test_roundtrip_multiset(self, table):
+        trie = PartialTrie.from_table(table)
+        back = trie.to_table()
+        assert sorted(map(tuple, back.tolist())) == sorted(map(tuple, np.unique(table, axis=0).tolist()))
+
+    @given(tables())
+    @SETTINGS
+    def test_compression_never_expands_grouped_input(self, table):
+        trie = PartialTrie.from_table(table)
+        # nodes never exceed total cells for lexicographically grouped rows
+        assert trie.num_nodes <= table.shape[0] * table.shape[1]

@@ -1,0 +1,122 @@
+"""Unit + property tests for the SIMT warp primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virtgpu import (
+    ballot_sync,
+    compact_offsets,
+    lane_binary_search,
+    lanemask_lt,
+    popc,
+    warp_exclusive_scan,
+)
+
+
+class TestBallotPopc:
+    def test_ballot_basic(self):
+        assert ballot_sync(np.array([True, False, True])) == 0b101
+
+    def test_ballot_respects_mask(self):
+        assert ballot_sync(np.array([True, True, True]), mask=0b010) == 0b010
+
+    def test_ballot_empty(self):
+        assert ballot_sync(np.array([], dtype=bool)) == 0
+
+    def test_ballot_33_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            ballot_sync(np.ones(33, dtype=bool))
+
+    def test_popc(self):
+        assert popc(0) == 0
+        assert popc(0xFFFFFFFF) == 32
+        assert popc(0b1011) == 3
+
+    def test_popc_negative_wraps(self):
+        assert popc(-1) == 32
+
+    @given(st.lists(st.booleans(), max_size=32))
+    def test_popc_ballot_is_sum(self, bits):
+        pred = np.array(bits, dtype=bool)
+        assert popc(ballot_sync(pred)) == int(pred.sum())
+
+    def test_lanemask_lt(self):
+        assert lanemask_lt(0) == 0
+        assert lanemask_lt(5) == 0b11111
+
+    def test_lanemask_bounds(self):
+        with pytest.raises(ValueError):
+            lanemask_lt(32)
+
+
+class TestScan:
+    def test_exclusive_scan(self):
+        out = warp_exclusive_scan(np.array([3, 1, 4, 1]))
+        assert list(out) == [0, 3, 4, 8]
+
+    def test_scan_empty_and_single(self):
+        assert warp_exclusive_scan(np.array([], dtype=int)).size == 0
+        assert list(warp_exclusive_scan(np.array([7]))) == [0]
+
+    @given(st.lists(st.integers(0, 100), max_size=32))
+    def test_scan_matches_cumsum(self, vals):
+        v = np.array(vals, dtype=np.int64)
+        out = warp_exclusive_scan(v)
+        expected = np.concatenate([[0], np.cumsum(v)[:-1]]) if v.size else v
+        assert np.array_equal(out, expected)
+
+    def test_scan_33_rejected(self):
+        with pytest.raises(ValueError):
+            warp_exclusive_scan(np.zeros(33))
+
+
+class TestLaneBinarySearch:
+    def test_found_and_missing(self):
+        s = np.array([2, 4, 6, 8])
+        res = lane_binary_search(np.array([2, 3, 8, 9]), s)
+        assert list(res) == [True, False, True, False]
+
+    def test_empty_set(self):
+        res = lane_binary_search(np.array([1, 2]), np.array([], dtype=int))
+        assert not res.any()
+
+    @given(
+        st.lists(st.integers(0, 50), max_size=32),
+        st.lists(st.integers(0, 50), max_size=40, unique=True),
+    )
+    def test_matches_isin(self, values, sset):
+        v = np.array(values, dtype=np.int64)
+        s = np.array(sorted(sset), dtype=np.int64)
+        assert np.array_equal(lane_binary_search(v, s), np.isin(v, s))
+
+
+class TestCompactOffsets:
+    def test_basic(self):
+        keep = np.array([True, False, True, True])
+        sidx = np.array([0, 0, 0, 1])
+        offs = compact_offsets(keep, sidx)
+        assert list(offs) == [0, -1, 1, 0]
+
+    def test_interleaved_sets(self):
+        keep = np.array([True, True, True, True])
+        sidx = np.array([0, 1, 0, 1])
+        offs = compact_offsets(keep, sidx)
+        assert list(offs) == [0, 0, 1, 1]
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            compact_offsets(np.array([True]), np.array([0, 1]))
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=32))
+    @settings(max_examples=60)
+    def test_offsets_dense_per_set(self, rows):
+        keep = np.array([r[0] for r in rows], dtype=bool)
+        sidx = np.array([r[1] for r in rows], dtype=np.int64)
+        offs = compact_offsets(keep, sidx)
+        # for each set, kept offsets are exactly 0..count-1 in stream order
+        for s in np.unique(sidx):
+            got = offs[(sidx == s) & keep]
+            assert list(got) == list(range(len(got)))
+        assert (offs[~keep] == -1).all()
