@@ -50,6 +50,27 @@ def bench_scale() -> str | None:
     return None
 
 
+@pytest.fixture(scope="session", autouse=True)
+def verify_all_plans():
+    """Statically verify every plan the benchmark drivers compile.
+
+    Same hook as the unit-test suite (see ``tests/conftest.py``): any
+    ERROR-severity diagnostic from :mod:`repro.analysis.verify` fails
+    the benchmark that built the offending plan.
+    """
+    from repro.analysis.verify import verify_plan
+    from repro.pattern.plan import add_plan_observer, remove_plan_observer
+
+    def _verify(plan) -> None:
+        verify_plan(plan).raise_if_errors()
+
+    add_plan_observer(_verify)
+    try:
+        yield
+    finally:
+        remove_plan_observer(_verify)
+
+
 @pytest.fixture(scope="session")
 def save_result():
     RESULTS_DIR.mkdir(exist_ok=True)

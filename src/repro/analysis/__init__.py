@@ -1,0 +1,51 @@
+"""Static analysis and runtime sanitization for STMatch plans.
+
+Three layers of correctness infrastructure over the matching pipeline:
+
+1. :mod:`repro.analysis.verify` — a static verifier for
+   :class:`~repro.codemotion.depgraph.SetProgram` /
+   :class:`~repro.pattern.plan.MatchingPlan`: def-before-use,
+   acyclicity, code-motion lift placement, candidate/schedule
+   consistency, symmetry restrictions and merged label filters.
+2. :mod:`repro.analysis.budget` — a resource linter pricing a plan's
+   fixed shared/global memory footprint against a
+   :class:`~repro.virtgpu.device.DeviceConfig` before launch.
+3. :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer
+   (``EngineConfig.sanitize``) checking the two-level work-stealing
+   protocol: segment disjointness, conservation, stop-level legality,
+   frame invariants and root-vertex conservation.
+
+CLI: ``python -m repro.analysis lint <pattern> [--graph ...]``.
+"""
+
+from .budget import BudgetEstimate, estimate_budget, lint_budget, max_fitting_unroll
+from .cli import lint_plan, main
+from .diagnostics import (
+    RULE_CATALOG,
+    Diagnostic,
+    DiagnosticReport,
+    PlanVerificationError,
+    Severity,
+)
+from .sanitizer import SanitizerError, StealSanitizer
+from .verify import earliest_level, structural_groups, verify_plan, verify_program
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PlanVerificationError",
+    "RULE_CATALOG",
+    "verify_program",
+    "verify_plan",
+    "earliest_level",
+    "structural_groups",
+    "BudgetEstimate",
+    "estimate_budget",
+    "lint_budget",
+    "max_fitting_unroll",
+    "SanitizerError",
+    "StealSanitizer",
+    "lint_plan",
+    "main",
+]

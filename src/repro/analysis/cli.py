@@ -1,0 +1,219 @@
+"""``python -m repro.analysis`` — lint matching plans before you run them.
+
+Subcommands
+-----------
+``lint [PATTERN ...]``
+    Compile each pattern into a :class:`MatchingPlan` and run the
+    static verifier (:mod:`repro.analysis.verify`) plus the resource
+    linter (:mod:`repro.analysis.budget`).  Patterns are names from the
+    built-in q1–q24 registry, ``cliqueK`` (K-clique), or ``motifs:N``
+    (every connected N-vertex motif); the default is the full built-in
+    set.  Exit status 1 when any ERROR diagnostic fires.
+``rules``
+    Print the diagnostic rule catalog.
+
+Examples::
+
+    python -m repro.analysis lint                      # everything built in
+    python -m repro.analysis lint q7 clique5           # specific patterns
+    python -m repro.analysis lint q24 --graph wiki_vote --scale tiny
+    python -m repro.analysis lint q5 --unroll 64 --shared-mem 4096
+    python -m repro.analysis lint q13 --split-labels --labels 3 -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from repro.codemotion.labeled import split_labeled_program
+from repro.core.config import EngineConfig
+from repro.graph.csr import CSRGraph
+from repro.pattern.motifs import QUERIES, connected_motifs
+from repro.pattern.plan import MatchingPlan, build_plan
+from repro.pattern.query import QueryGraph
+from repro.virtgpu.device import DeviceConfig
+
+from .budget import lint_budget
+from .diagnostics import RULE_CATALOG, DiagnosticReport, Severity
+from .verify import verify_plan
+
+__all__ = ["main", "lint_plan", "resolve_patterns"]
+
+
+def lint_plan(
+    plan: MatchingPlan,
+    config: EngineConfig,
+    graph: CSRGraph | None = None,
+    subject: str | None = None,
+) -> DiagnosticReport:
+    """Layers 1 + 2: static verification, then the budget linter."""
+    name = subject or f"plan[{plan.original_query.name or 'query'}]"
+    rep = verify_plan(plan, subject=name)
+    rep.extend(lint_budget(plan, config, graph, subject=name))
+    return rep
+
+
+def resolve_patterns(names: Sequence[str]) -> list[QueryGraph]:
+    """Expand CLI pattern arguments into query graphs."""
+    if not names:
+        names = ["all"]
+    out: list[QueryGraph] = []
+    for name in names:
+        if name == "all":
+            out.extend(QUERIES[q] for q in sorted(QUERIES, key=lambda s: int(s[1:])))
+            out.extend(QueryGraph.clique(k, name=f"clique{k}") for k in (3, 4))
+        elif name in QUERIES:
+            out.append(QUERIES[name])
+        elif name.startswith("clique"):
+            k = int(name.removeprefix("clique").lstrip(":"))
+            out.append(QueryGraph.clique(k, name=f"clique{k}"))
+        elif name.startswith("motifs:"):
+            out.extend(connected_motifs(int(name.split(":", 1)[1])))
+        else:
+            raise ValueError(
+                f"unknown pattern {name!r}: expected a q1..q24 name, "
+                "'cliqueK', 'motifs:N' or 'all'"
+            )
+    return out
+
+
+def _with_cycled_labels(query: QueryGraph, num_labels: int) -> QueryGraph:
+    """Deterministically label a query (position i gets label i % L)."""
+    labels = [i % num_labels for i in range(query.size)]
+    return QueryGraph(
+        adj=query.adj,
+        labels=np.asarray(labels, dtype=np.int64),
+        name=f"{query.name}+L{num_labels}",
+        directed=query.directed,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verifier + resource linter for STMatch matching plans.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser("lint", help="verify plans and lint their memory budget")
+    lint.add_argument("patterns", nargs="*", default=[],
+                      help="q1..q24, cliqueK, motifs:N, or 'all' (default)")
+    lint.add_argument("--graph", default=None,
+                      help="built-in dataset name to size slots and order plans")
+    lint.add_argument("--scale", default="tiny",
+                      help="dataset scale for --graph (default: tiny)")
+    lint.add_argument("--vertex-induced", action="store_true")
+    lint.add_argument("--no-code-motion", action="store_true",
+                      help="lint the naive (unlifted) program instead")
+    lint.add_argument("--no-symmetry", action="store_true",
+                      help="plan without symmetry-breaking restrictions")
+    lint.add_argument("--labels", type=int, default=0, metavar="L",
+                      help="attach L cyclic labels to each pattern (Fig. 10 mode)")
+    lint.add_argument("--split-labels", action="store_true",
+                      help="lint the per-label split program (Fig. 10a) "
+                           "instead of the merged form — needs --labels")
+    lint.add_argument("--unroll", type=int, default=None)
+    lint.add_argument("--max-degree", type=int, default=None)
+    lint.add_argument("--stop-level", type=int, default=None)
+    lint.add_argument("--blocks", type=int, default=None)
+    lint.add_argument("--warps", type=int, default=None,
+                      help="warps per block")
+    lint.add_argument("--shared-mem", type=int, default=None,
+                      help="shared memory per block, bytes")
+    lint.add_argument("--global-mem", type=int, default=None,
+                      help="global memory, bytes")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="also print NOTE-severity diagnostics")
+    sub.add_parser("rules", help="print the diagnostic rule catalog")
+    return p
+
+
+def _config_from_args(args: argparse.Namespace) -> EngineConfig:
+    dev_kw = {}
+    if args.blocks is not None:
+        dev_kw["num_blocks"] = args.blocks
+    if args.warps is not None:
+        dev_kw["warps_per_block"] = args.warps
+    if args.shared_mem is not None:
+        dev_kw["shared_mem_per_block"] = args.shared_mem
+    if args.global_mem is not None:
+        dev_kw["global_mem_bytes"] = args.global_mem
+    cfg_kw = {"device": DeviceConfig(**dev_kw)} if dev_kw else {}
+    if args.unroll is not None:
+        cfg_kw["unroll"] = args.unroll
+    if args.max_degree is not None:
+        cfg_kw["max_degree"] = args.max_degree
+    if args.stop_level is not None:
+        cfg_kw["stop_level"] = args.stop_level
+        cfg_kw.setdefault("detect_level", min(args.stop_level, 2))
+    cfg_kw["code_motion"] = not args.no_code_motion
+    return EngineConfig(**cfg_kw)
+
+
+def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
+    try:
+        queries = resolve_patterns(args.patterns)
+        config = _config_from_args(args)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    graph: CSRGraph | None = None
+    if args.graph is not None:
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset(args.graph, scale=args.scale,
+                             labeled=args.labels > 0 or None)
+    min_sev = Severity.NOTE if args.verbose else Severity.WARNING
+    worst = 0
+    num_findings = 0
+    for query in queries:
+        if args.labels > 0:
+            query = _with_cycled_labels(query, args.labels)
+        plan = build_plan(
+            query,
+            data_graph=graph if (graph is None or graph.is_labeled == query.is_labeled) else None,
+            vertex_induced=args.vertex_induced,
+            symmetry_breaking=not args.no_symmetry,
+            code_motion=not args.no_code_motion,
+        )
+        if args.split_labels:
+            if not query.is_labeled:
+                print("error: --split-labels needs --labels", file=sys.stderr)
+                return 2
+            plan = MatchingPlan(
+                query=plan.query,
+                original_query=plan.original_query,
+                order=plan.order,
+                vertex_induced=plan.vertex_induced,
+                symmetry_breaking=plan.symmetry_breaking,
+                restrictions=plan.restrictions,
+                program=split_labeled_program(plan.program, plan.query),
+                code_motion=plan.code_motion,
+                num_automorphisms=plan.num_automorphisms,
+            )
+        rep = lint_plan(plan, config, graph, subject=f"plan[{query.name}]")
+        shown = [d for d in rep if d.severity >= min_sev]
+        num_findings += len(shown)
+        if shown or args.verbose:
+            print(rep.render(min_severity=min_sev), file=out)
+        if rep.max_severity is not None:
+            worst = max(worst, int(rep.max_severity))
+    status = "clean" if worst < int(Severity.ERROR) else "FAILED"
+    print(
+        f"linted {len(queries)} plan(s): {num_findings} finding(s) shown — {status}",
+        file=out,
+    )
+    return 1 if worst >= int(Severity.ERROR) else 0
+
+
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "rules":
+        for rule, desc in sorted(RULE_CATALOG.items()):
+            print(f"{rule}  {desc}", file=out)
+        return 0
+    return _cmd_lint(args, out)

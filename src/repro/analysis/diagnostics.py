@@ -1,0 +1,185 @@
+"""Structured diagnostics for the static analysis layers.
+
+Every finding of the plan verifier (:mod:`repro.analysis.verify`) and
+the resource linter (:mod:`repro.analysis.budget`) is a
+:class:`Diagnostic`: a stable rule id, a severity, a location inside
+the plan (a set id, a level, a config knob), a human-readable message
+and — where the analysis can compute one — a concrete fix hint.
+Diagnostics are collected into a :class:`DiagnosticReport` that the CLI
+renders and tests assert on.
+
+The rule catalog lives in :data:`RULE_CATALOG` (documented in
+``docs/ANALYSIS.md``); rule ids are append-only so downstream suppressions
+stay stable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PlanVerificationError",
+    "RULE_CATALOG",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+#: rule id -> one-line description.  The verifier owns P* (program
+#: structure), S* (symmetry restrictions) and L* (label filters); the
+#: budget linter owns B*; the runtime sanitizer reports under X* ids.
+RULE_CATALOG: dict[str, str] = {
+    "P100": "plan shape: per-level tables must match the query size",
+    "P101": "every set must be scheduled exactly once, at its recipe's level",
+    "P102": "use-before-def: a REF must point at an already-computed set",
+    "P103": "use-before-def: operands must be matched before a set reads them",
+    "P104": "the set-dependency graph must be acyclic",
+    "P105": "un-lifted invariant op: a code-motioned set sits below its earliest legal level",
+    "P106": "code-motioned programs must be in canonical single-op form",
+    "P107": "candidate-set tags and the per-level candidate table must agree",
+    "P108": "dead set: computed but never consumed",
+    "S201": "restrictions may only reference earlier matching positions",
+    "S202": "restrictions must match the canonical symmetry breaking of the order",
+    "L301": "a candidate set must keep its level's query label",
+    "L302": "an intermediate label filter must cover every consumer's labels",
+    "L303": "per-label set duplication (Fig. 10a) instead of merged multi-label sets",
+    "L304": "label filters are only meaningful on labeled queries",
+    "B401": "per-block shared memory (Csize/iter/uiter + Fig. 9b arrays) overflows",
+    "B402": "per-block shared memory is under pressure (> 50% of capacity)",
+    "B403": "fixed global footprint (graph + candidate stack C) overflows the device",
+    "B404": "neighbor lists longer than max_degree spill to host memory",
+    "B405": "peak live-set report (informational)",
+    "X501": "steal segment duplicated between donor and thief",
+    "X502": "steal dropped or invented candidates",
+    "X503": "steal touched a frame deeper than stop_level",
+    "X504": "frame invariant violated (iter/uiter/level bounds)",
+    "X505": "root-vertex conservation violated",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable id from :data:`RULE_CATALOG`.
+    severity:
+        ``ERROR`` findings make a plan unrunnable (or a run untrusted);
+        ``WARNING`` findings are legal but wasteful or suspicious;
+        ``NOTE`` is informational.
+    location:
+        Where inside the plan/run, e.g. ``"set S3"``, ``"level 2"``,
+        ``"config.unroll"`` or ``"warp 5@block1"``.
+    message:
+        What is wrong (or noteworthy).
+    hint:
+        Concrete remediation, when the analysis can compute one.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str | None = None
+
+    def render(self) -> str:
+        s = f"{self.severity} {self.rule} [{self.location}] {self.message}"
+        if self.hint:
+            s += f"  (fix: {self.hint})"
+        return s
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics for one analyzed subject."""
+
+    subject: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        location: str,
+        message: str,
+        hint: str | None = None,
+    ) -> None:
+        if rule not in RULE_CATALOG:
+            raise KeyError(f"unknown diagnostic rule {rule!r}")
+        self.diagnostics.append(Diagnostic(rule, severity, location, message, hint))
+
+    def extend(self, other: "DiagnosticReport | Iterable[Diagnostic]") -> None:
+        items = other.diagnostics if isinstance(other, DiagnosticReport) else list(other)
+        self.diagnostics.extend(items)
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    # -- output ------------------------------------------------------------
+
+    def render(self, min_severity: Severity = Severity.NOTE) -> str:
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        head = self.subject or "analysis"
+        if not shown:
+            return f"{head}: clean"
+        lines = [f"{head}: {len(shown)} finding(s)"]
+        lines += [f"  {d.render()}" for d in shown]
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        if self.has_errors:
+            raise PlanVerificationError(self)
+
+
+class PlanVerificationError(ValueError):
+    """Raised when a report with ERROR diagnostics is escalated."""
+
+    def __init__(self, report: DiagnosticReport) -> None:
+        self.report = report
+        msg = "\n".join(d.render() for d in report.errors)
+        super().__init__(f"plan verification failed for {report.subject or 'plan'}:\n{msg}")

@@ -1,0 +1,277 @@
+"""Runtime sanitizer for the two-level work-stealing protocol (Sec. V).
+
+The steal split of Fig. 5 has to preserve one invariant above all:
+every candidate (and therefore every root subtree) is owned by exactly
+one warp at any time.  A duplicated segment double-counts matches; a
+dropped one silently loses them — the exact failure mode this repo's
+baselines exhibit when their memory accounting breaks (see GSI in
+PAPERS.md).  Nothing at runtime checked that until now.
+
+:class:`StealSanitizer` is an opt-in instrumentation hook
+(``EngineConfig.sanitize``) the kernel driver calls at every protocol
+step:
+
+* **divide-and-copy** (local steal and global push): donor and thief
+  segments must be disjoint and their union must equal the donor's
+  pre-steal remainder (X501/X502); no stolen frame may sit below
+  ``stop_level`` (X503); stolen frames must satisfy the stack-machine
+  invariants — ``iter <= Csize``, ``uiter < nslots``, contiguous levels
+  (X504);
+* **root conservation**: every root vertex handed out by the global
+  chunk counter is consumed exactly once across the whole kernel
+  (X505), checked incrementally per consumed batch and at kernel
+  retirement.
+
+Violations raise :class:`SanitizerError` carrying a replayable trace of
+the most recent protocol events (chunk grabs, steals, consumed
+batches), so a failure names the offending warp, level and the exact
+split that broke the invariant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import TYPE_CHECKING, Deque
+
+import numpy as np
+
+from repro.core.config import EngineConfig
+from repro.core.stack import Frame, StolenWork, WarpStack
+from repro.pattern.plan import MatchingPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import KernelState
+    from repro.virtgpu.warp import Warp
+
+__all__ = ["SanitizerError", "StealSanitizer"]
+
+
+class SanitizerError(RuntimeError):
+    """A work-stealing or stack invariant was violated at runtime."""
+
+    def __init__(self, rule: str, where: str, message: str, trace: list[str]) -> None:
+        self.rule = rule
+        self.where = where
+        self.trace = trace
+        text = f"{rule} at {where}: {message}"
+        if trace:
+            text += "\nreplay trace (oldest first):\n" + "\n".join(
+                f"  {line}" for line in trace
+            )
+        super().__init__(text)
+
+
+def _wname(warp: "Warp | None") -> str:
+    if warp is None:
+        return "warp ?"
+    return f"warp {warp.warp_id}@block{warp.block_id}"
+
+
+class StealSanitizer:
+    """Checks steal segments, frame invariants and root conservation."""
+
+    def __init__(
+        self,
+        plan: MatchingPlan,
+        config: EngineConfig,
+        trace_limit: int = 64,
+    ) -> None:
+        self.plan = plan
+        self.config = config
+        self.trace: Deque[str] = deque(maxlen=trace_limit)
+        # root vertex -> outstanding ownership count (must stay 0/1)
+        self._outstanding: Counter[int] = Counter()
+        self.roots_issued = 0
+        self.roots_consumed = 0
+        self.checks = 0  # protocol events inspected (tests assert coverage)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, warp: "Warp | None", kind: str, detail: str) -> None:
+        clock = f"{warp.clock:.0f}" if warp is not None else "-"
+        self.trace.append(f"[t={clock}] {_wname(warp)} {kind}: {detail}")
+
+    def _fail(self, rule: str, warp: "Warp | None", level: int | None, msg: str) -> None:
+        where = _wname(warp)
+        if level is not None:
+            where += f", level {level}"
+        raise SanitizerError(rule, where, msg, list(self.trace))
+
+    # -- frame / stack invariants -----------------------------------------
+
+    def check_frame(self, warp: "Warp | None", frame: Frame, where: str) -> None:
+        """X504: the stack-machine bounds every frame must satisfy."""
+        self.checks += 1
+        lvl = frame.level
+        if not 0 <= lvl < self.plan.size:
+            self._fail("X504", warp, lvl,
+                       f"frame level outside the plan's {self.plan.size} levels "
+                       f"({where})")
+        if frame.nslots < 1:
+            self._fail("X504", warp, lvl, f"frame has no candidate slots ({where})")
+        if not 0 <= frame.uiter < frame.nslots:
+            self._fail("X504", warp, lvl,
+                       f"uiter {frame.uiter} outside [0, {frame.nslots}) ({where})")
+        csize = int(frame.cand[frame.uiter].size)
+        if not 0 <= frame.iter <= csize:
+            self._fail("X504", warp, lvl,
+                       f"iter {frame.iter} outside [0, Csize={csize}] ({where})")
+        if lvl > 0 and frame.slot_vertices.size != frame.nslots:
+            self._fail("X504", warp, lvl,
+                       f"{frame.slot_vertices.size} slot vertices for "
+                       f"{frame.nslots} slots ({where})")
+
+    def check_stack(self, warp: "Warp | None", stack: WarpStack, where: str) -> None:
+        for i, f in enumerate(stack.frames):
+            if f.level != i:
+                self._fail("X504", warp, f.level,
+                           f"frame at stack depth {i} claims level {f.level} "
+                           f"({where})")
+            self.check_frame(warp, f, where)
+
+    # -- root conservation -------------------------------------------------
+
+    def on_chunk(self, warp: "Warp", arr: np.ndarray) -> None:
+        """A warp grabbed ``arr`` from the global chunk counter (Fig. 4)."""
+        self.checks += 1
+        for v in arr:
+            v = int(v)
+            self._outstanding[v] += 1
+            if self._outstanding[v] > 1:
+                self._record(warp, "chunk", f"re-issued root {v}")
+                self._fail("X505", warp, 0,
+                           f"root vertex {v} issued twice by the chunk counter")
+        self.roots_issued += int(arr.size)
+        if arr.size:
+            self._record(warp, "chunk",
+                         f"roots [{int(arr[0])}..{int(arr[-1])}] ({arr.size})")
+
+    def on_root_batch(self, warp: "Warp", batch: np.ndarray) -> None:
+        """A warp consumed ``batch`` root candidates from its level-0 frame."""
+        self.checks += 1
+        for v in batch:
+            v = int(v)
+            if self._outstanding[v] <= 0:
+                self._record(warp, "consume", f"root {v} (unowned)")
+                self._fail(
+                    "X505", warp, 0,
+                    f"root vertex {v} consumed but not outstanding — a steal "
+                    "duplicated or re-consumed its segment",
+                )
+            self._outstanding[v] -= 1
+        self.roots_consumed += int(batch.size)
+        self._record(warp, "consume", f"{batch.size} root(s)")
+
+    # -- divide-and-copy ---------------------------------------------------
+
+    def snapshot(self, stack: WarpStack) -> list[np.ndarray]:
+        """Remaining active-slot candidates per divisible frame, taken
+        immediately before ``divide_and_copy`` mutates the donor."""
+        snap: list[np.ndarray] = []
+        for f in stack.frames:
+            if f.level > self.config.stop_level:
+                break
+            snap.append(f.cand[f.uiter][f.iter:].copy())
+        return snap
+
+    def on_steal(
+        self,
+        kind: str,
+        donor_warp: "Warp",
+        donor_stack: WarpStack,
+        snapshot: list[np.ndarray],
+        work: StolenWork,
+        thief_warp: "Warp | None" = None,
+    ) -> None:
+        """Verify one completed divide-and-copy (local pull or global push)."""
+        self.checks += 1
+        stop = self.config.stop_level
+        if len(work.frames) > len(snapshot) or len(work.frames) > len(donor_stack.frames):
+            self._fail("X503", donor_warp, None,
+                       f"{kind} steal copied {len(work.frames)} frames but the "
+                       f"donor only exposes {len(snapshot)} divisible levels")
+        for i, sf in enumerate(work.frames):
+            donor_f = donor_stack.frames[i]
+            if sf.level != i:
+                self._fail("X504", donor_warp, sf.level,
+                           f"stolen frame at depth {i} claims level {sf.level}")
+            if sf.level > stop:
+                self._fail("X503", donor_warp, sf.level,
+                           f"{kind} steal divided level {sf.level} beyond "
+                           f"stop_level {stop}")
+            self.check_frame(thief_warp or donor_warp, sf, f"{kind} steal")
+            if sf.uiter != donor_f.uiter:
+                self._fail("X504", donor_warp, sf.level,
+                           f"stolen frame active slot {sf.uiter} != donor's "
+                           f"{donor_f.uiter}")
+            # slots the donor has not reached stay with the donor: the
+            # thief's copies of every other slot must be empty
+            for u in range(sf.nslots):
+                if u != sf.uiter and sf.cand[u].size:
+                    self._fail(
+                        "X501", donor_warp, sf.level,
+                        f"thief received {sf.cand[u].size} candidates in "
+                        f"slot {u} which the donor still owns",
+                    )
+            donor_rem = donor_f.cand[donor_f.uiter][donor_f.iter:]
+            thief_seg = sf.cand[sf.uiter][sf.iter:]
+            overlap = np.intersect1d(donor_rem, thief_seg)
+            if overlap.size:
+                self._record(donor_warp, kind,
+                             f"L{sf.level} overlap {overlap[:8].tolist()}")
+                self._fail(
+                    "X501", donor_warp, sf.level,
+                    f"{kind} steal duplicated {overlap.size} candidate(s) "
+                    f"(e.g. {overlap[:4].tolist()}) into both donor and thief",
+                )
+            merged = np.sort(np.concatenate([donor_rem, thief_seg]))
+            before = np.sort(snapshot[i])
+            if not np.array_equal(merged, before):
+                self._record(donor_warp, kind,
+                             f"L{sf.level} {before.size} -> "
+                             f"{donor_rem.size}+{thief_seg.size}")
+                self._fail(
+                    "X502", donor_warp, sf.level,
+                    f"{kind} steal broke conservation at level {sf.level}: "
+                    f"{before.size} candidates before, "
+                    f"{donor_rem.size} (donor) + {thief_seg.size} (thief) after",
+                )
+        taken = sum(f.cand[f.uiter].size - f.iter for f in work.frames)
+        detail = f"{taken} cand across {len(work.frames)} frame(s)"
+        if thief_warp is not None:
+            detail = f"-> {_wname(thief_warp)}; " + detail
+        self._record(donor_warp, f"{kind}-steal", detail)
+
+    def on_take(self, warp: "Warp", work: StolenWork) -> None:
+        """A woken warp collected a deposited stack (Fig. 6 pickup)."""
+        self.checks += 1
+        for i, sf in enumerate(work.frames):
+            if sf.level != i:
+                self._fail("X504", warp, sf.level,
+                           f"collected frame at depth {i} claims level {sf.level}")
+            if sf.level > self.config.stop_level:
+                self._fail("X503", warp, sf.level,
+                           "collected stack holds a frame below stop_level "
+                           f"{self.config.stop_level}")
+            self.check_frame(warp, sf, "global take")
+        self._record(warp, "global-take", f"{len(work.frames)} frame(s)")
+
+    # -- kernel retirement -------------------------------------------------
+
+    def finalize(self, state: "KernelState") -> None:
+        """End-of-kernel conservation: every issued root was consumed."""
+        self.checks += 1
+        if state.stop_flag:
+            return  # budget stop drops stacks mid-flight by design
+        leftovers = +self._outstanding
+        if leftovers:
+            sample = sorted(leftovers)[:8]
+            self._fail(
+                "X505", None, 0,
+                f"{sum(leftovers.values())} root vertex owner-slots never "
+                f"consumed (e.g. {sample}) — a steal or pop dropped work",
+            )
+        for task in state.tasks:
+            if task.stack.depth:
+                self._fail("X504", task.warp, None,
+                           "kernel retired with a nonempty stack")

@@ -1,0 +1,414 @@
+"""Static verification of set programs and matching plans.
+
+The compact ``row_ptr``/``set_ops`` encoding (Fig. 9b) the kernel
+executes is only as correct as the :class:`SetProgram` it was derived
+from, and nothing between the plan compiler and the kernel re-checks
+that contract.  This pass does, as pure static analysis over the
+program's dependence structure:
+
+* **def-before-use** — every ``REF`` points at a set computed no later
+  (and, on the same level, scheduled earlier); every neighbor-list
+  operand reads an already-matched position (P102/P103);
+* **acyclicity** of the set-dependency graph (P104);
+* **level monotonicity** — with code motion on, every set sits at the
+  *earliest* level where its operands are bound, i.e. the lift actually
+  happened (P105), and the program is in canonical single-op form
+  (P106);
+* **schedule / candidate-table consistency** and dead-set detection
+  (P100/P101/P107/P108);
+* **symmetry restrictions** consistent with the matching order
+  (S201/S202);
+* **label-filter attachment** — merged multi-label sets (Fig. 10b)
+  rather than the per-label blowup of Fig. 10a (L301–L304).
+
+Entry points: :func:`verify_program` for a bare program,
+:func:`verify_plan` for a full :class:`MatchingPlan` (adds the
+symmetry and query-label cross-checks).  Both return a
+:class:`~repro.analysis.diagnostics.DiagnosticReport` and never raise
+on malformed input — corruption becomes diagnostics, not exceptions.
+"""
+
+from __future__ import annotations
+
+from repro.codemotion.depgraph import BaseKind, SetProgram
+from repro.pattern.plan import MatchingPlan
+from repro.pattern.symmetry import restrictions_by_level
+
+from .diagnostics import DiagnosticReport, Severity
+
+__all__ = [
+    "verify_program",
+    "verify_plan",
+    "earliest_level",
+    "structural_groups",
+]
+
+
+def earliest_level(program: SetProgram, sid: int) -> int:
+    """Earliest recursion level at which set ``sid`` could be computed:
+    all neighbor-list operands matched and its REF dependency (at the
+    level where it actually sits) available.
+
+    Returns -1 when the dependency structure is broken (dangling REF),
+    which the P102 rule reports separately.
+    """
+    recipes = program.recipes
+    if not 0 <= sid < len(recipes):
+        return -1
+    r = recipes[sid]
+    lo = 0
+    if r.base is BaseKind.NEIGHBORS:
+        lo = r.base_arg + 1
+    elif r.base is BaseKind.REF:
+        if not 0 <= r.base_arg < len(recipes):
+            return -1
+        lo = recipes[r.base_arg].level
+    for op in r.ops:
+        lo = max(lo, op.position + 1)
+    return lo
+
+
+def _structural_key(
+    program: SetProgram, sid: int, memo: dict[int, tuple], seen: set[int]
+) -> tuple:
+    """Label-insensitive structural signature of a set (recursive through
+    REFs), used to spot per-label duplicates of one underlying set."""
+    if sid in memo:
+        return memo[sid]
+    if sid in seen or not 0 <= sid < len(program.recipes):
+        return ("broken", sid)
+    seen.add(sid)
+    r = program.recipes[sid]
+    if r.base is BaseKind.REF:
+        base = ("ref", _structural_key(program, r.base_arg, memo, seen))
+    else:
+        base = (r.base.value, r.base_arg, r.base_inbound)
+    key = (base, tuple((op.kind.value, op.position, op.inbound) for op in r.ops), r.level)
+    memo[sid] = key
+    return key
+
+
+def structural_groups(program: SetProgram) -> dict[tuple, list[int]]:
+    """Group set ids by label-insensitive structure.  Groups with more
+    than one member are per-label copies of one logical set (Fig. 10a)."""
+    memo: dict[int, tuple] = {}
+    groups: dict[tuple, list[int]] = {}
+    for sid in range(program.num_sets):
+        key = _structural_key(program, sid, memo, set())
+        groups.setdefault(key, []).append(sid)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# program-level checks
+# ---------------------------------------------------------------------------
+
+
+def _check_shape(program: SetProgram, rep: DiagnosticReport) -> bool:
+    ok = True
+    k = program.num_levels
+    if len(program.candidate_of_level) != k:
+        rep.add("P100", Severity.ERROR, "plan",
+                f"candidate_of_level has {len(program.candidate_of_level)} "
+                f"entries for {k} levels")
+        ok = False
+    if len(program.sets_at_level) != k:
+        rep.add("P100", Severity.ERROR, "plan",
+                f"sets_at_level has {len(program.sets_at_level)} entries for {k} levels")
+        ok = False
+    return ok
+
+
+def _check_schedule(program: SetProgram, rep: DiagnosticReport) -> None:
+    n = program.num_sets
+    slot_of: dict[int, tuple[int, int]] = {}
+    for l, lvl_sets in enumerate(program.sets_at_level):
+        for j, sid in enumerate(lvl_sets):
+            if not 0 <= sid < n:
+                rep.add("P101", Severity.ERROR, f"level {l}",
+                        f"schedule names nonexistent set S{sid}")
+                continue
+            if sid in slot_of:
+                rep.add("P101", Severity.ERROR, f"set S{sid}",
+                        "scheduled more than once")
+            slot_of[sid] = (l, j)
+            if program.recipes[sid].level != l:
+                rep.add("P101", Severity.ERROR, f"set S{sid}",
+                        f"scheduled at level {l} but its recipe says level "
+                        f"{program.recipes[sid].level}")
+    for sid in range(n):
+        if sid not in slot_of:
+            rep.add("P101", Severity.ERROR, f"set S{sid}", "never scheduled")
+
+
+def _check_def_before_use(program: SetProgram, rep: DiagnosticReport) -> None:
+    n = program.num_sets
+    # position of each set in the flattened schedule, for same-level ordering
+    order_pos: dict[int, int] = {}
+    i = 0
+    for lvl_sets in program.sets_at_level:
+        for sid in lvl_sets:
+            if 0 <= sid < n and sid not in order_pos:
+                order_pos[sid] = i
+            i += 1
+    for sid, r in enumerate(program.recipes):
+        loc = f"set S{sid}"
+        if r.base is BaseKind.REF:
+            if not 0 <= r.base_arg < n:
+                rep.add("P102", Severity.ERROR, loc,
+                        f"REF to nonexistent set S{r.base_arg}")
+                continue
+            dep = program.recipes[r.base_arg]
+            if dep.level > r.level:
+                rep.add("P102", Severity.ERROR, loc,
+                        f"reads S{r.base_arg} computed at level {dep.level} > {r.level}")
+            elif (dep.level == r.level
+                  and sid in order_pos and r.base_arg in order_pos
+                  and order_pos[r.base_arg] > order_pos[sid]):
+                rep.add("P102", Severity.ERROR, loc,
+                        f"scheduled before its same-level dependency S{r.base_arg}")
+        if r.base is BaseKind.NEIGHBORS and r.level < r.base_arg + 1:
+            rep.add("P103", Severity.ERROR, loc,
+                    f"reads N(m[{r.base_arg}]) at level {r.level} before "
+                    f"position {r.base_arg} is matched")
+        for op in r.ops:
+            if r.level < op.position + 1:
+                rep.add("P103", Severity.ERROR, loc,
+                        f"op on N(m[{op.position}]) at level {r.level} before "
+                        f"position {op.position} is matched")
+            if not 0 <= op.position < program.num_levels:
+                rep.add("P103", Severity.ERROR, loc,
+                        f"op position {op.position} outside the matching order")
+
+
+def _check_acyclic(program: SetProgram, rep: DiagnosticReport) -> None:
+    n = program.num_sets
+    state = [0] * n  # 0 = unvisited, 1 = on stack, 2 = done
+    for root in range(n):
+        if state[root]:
+            continue
+        path = [root]
+        while path:
+            sid = path[-1]
+            if state[sid] == 0:
+                state[sid] = 1
+                r = program.recipes[sid]
+                if r.base is BaseKind.REF and 0 <= r.base_arg < n:
+                    dep = r.base_arg
+                    if state[dep] == 1:
+                        cycle = path[path.index(dep):] + [dep]
+                        rep.add("P104", Severity.ERROR, f"set S{sid}",
+                                "dependency cycle: "
+                                + " -> ".join(f"S{s}" for s in cycle))
+                    elif state[dep] == 0:
+                        path.append(dep)
+                        continue
+            state[sid] = 2
+            path.pop()
+
+
+def _check_code_motion(program: SetProgram, rep: DiagnosticReport) -> None:
+    for sid, r in enumerate(program.recipes):
+        loc = f"set S{sid}"
+        if len(r.ops) > 1:
+            rep.add("P106", Severity.ERROR, loc,
+                    f"{len(r.ops)} ops in one recipe; code motion must leave "
+                    "at most one (the compact Fig. 9b encoding needs it)")
+            continue  # a multi-op chain is by construction not lifted
+        lo = earliest_level(program, sid)
+        if lo >= 0 and r.level > lo:
+            rep.add("P105", Severity.ERROR, loc,
+                    f"computed at level {r.level} but its operands are bound "
+                    f"at level {lo}: the invariant op was not lifted out of "
+                    f"{r.level - lo} loop(s)")
+
+
+def _check_candidates(program: SetProgram, rep: DiagnosticReport) -> None:
+    n = program.num_sets
+    for l, sid in enumerate(program.candidate_of_level):
+        loc = f"level {l}"
+        if not 0 <= sid < n:
+            rep.add("P107", Severity.ERROR, loc,
+                    f"candidate table names nonexistent set S{sid}")
+            continue
+        r = program.recipes[sid]
+        if r.is_candidate_for != l:
+            rep.add("P107", Severity.ERROR, loc,
+                    f"candidate set S{sid} is tagged for level {r.is_candidate_for}")
+        if r.level > l:
+            rep.add("P107", Severity.ERROR, loc,
+                    f"candidates computed at level {r.level}, after they are needed")
+    tagged = {
+        sid for sid, r in enumerate(program.recipes) if r.is_candidate_for >= 0
+    }
+    tabled = {s for s in program.candidate_of_level if 0 <= s < n}
+    for sid in tagged - tabled:
+        rep.add("P107", Severity.ERROR, f"set S{sid}",
+                f"tagged as candidates of level "
+                f"{program.recipes[sid].is_candidate_for} but the candidate "
+                "table points elsewhere")
+
+
+def _check_dead_sets(program: SetProgram, rep: DiagnosticReport) -> None:
+    n = program.num_sets
+    consumed = set(s for s in program.candidate_of_level if 0 <= s < n)
+    for r in program.recipes:
+        if r.base is BaseKind.REF and 0 <= r.base_arg < n:
+            consumed.add(r.base_arg)
+    for sid in range(n):
+        if sid not in consumed and program.recipes[sid].is_candidate_for < 0:
+            rep.add("P108", Severity.WARNING, f"set S{sid}",
+                    "computed but never consumed (wasted slots and set ops)")
+
+
+def _check_labels(
+    program: SetProgram,
+    rep: DiagnosticReport,
+    query_labels: list[int] | None,
+) -> None:
+    n = program.num_sets
+    any_filter = any(r.label_filter is not None for r in program.recipes)
+    if query_labels is None:
+        if any_filter:
+            rep.add("L304", Severity.ERROR, "plan",
+                    "label filters on an unlabeled query")
+        return
+    # candidate sets must keep their level's label
+    for l, sid in enumerate(program.candidate_of_level):
+        if not 0 <= sid < n:
+            continue  # P107 already reported
+        flt = program.recipes[sid].label_filter
+        if flt is None:
+            rep.add("L301", Severity.WARNING, f"level {l}",
+                    f"candidate set S{sid} carries no label filter; the "
+                    "kernel re-filters per level, but unfiltered sets blow "
+                    "up intermediate sizes")
+        elif int(query_labels[l]) not in flt:
+            rep.add("L301", Severity.ERROR, f"level {l}",
+                    f"candidate set S{sid} filters labels {sorted(flt)} but "
+                    f"the level needs label {int(query_labels[l])}")
+    # every set's filter must cover the union of its consumers' needs
+    need: list[set[int]] = [set() for _ in range(n)]
+    for l, sid in enumerate(program.candidate_of_level):
+        if 0 <= sid < n:
+            need[sid].add(int(query_labels[l]))
+    for sid in range(n - 1, -1, -1):
+        r = program.recipes[sid]
+        if r.base is BaseKind.REF and 0 <= r.base_arg < n:
+            flt = r.label_filter
+            need[r.base_arg] |= set(flt) if flt is not None else need[sid]
+    for sid, r in enumerate(program.recipes):
+        if r.label_filter is None or not need[sid]:
+            continue
+        missing = need[sid] - set(r.label_filter)
+        if missing:
+            rep.add("L302", Severity.ERROR, f"set S{sid}",
+                    f"label filter {sorted(r.label_filter)} drops labels "
+                    f"{sorted(missing)} that downstream sets still need — "
+                    "matches would be silently lost")
+    # per-label duplication: the Fig. 10a shape label merging exists to avoid
+    dup_groups = [g for g in structural_groups(program).values() if len(g) > 1]
+    for group in dup_groups:
+        labels = sorted(
+            lab
+            for sid in group
+            if program.recipes[sid].label_filter
+            for lab in program.recipes[sid].label_filter  # type: ignore[union-attr]
+        )
+        rep.add("L303", Severity.WARNING,
+                "sets " + ", ".join(f"S{s}" for s in group),
+                f"{len(group)} per-label copies of one structural set "
+                f"(labels {labels}); the split Fig. 10a layout costs "
+                f"{len(group) - 1} extra Csize slot(s) per unrolled iteration",
+                hint="merge into one multi-label set (Fig. 10b label merging)")
+
+
+def verify_program(
+    program: SetProgram,
+    code_motion: bool = False,
+    query_labels: list[int] | None = None,
+    subject: str = "program",
+) -> DiagnosticReport:
+    """Run the P/L rule groups over a bare :class:`SetProgram`."""
+    rep = DiagnosticReport(subject=subject)
+    if not _check_shape(program, rep):
+        return rep  # per-level tables unusable; later checks would lie
+    _check_schedule(program, rep)
+    _check_def_before_use(program, rep)
+    _check_acyclic(program, rep)
+    if code_motion and not rep.has_errors:
+        _check_code_motion(program, rep)
+    elif code_motion:
+        # structure is broken; still flag non-canonical chains
+        for sid, r in enumerate(program.recipes):
+            if len(r.ops) > 1:
+                rep.add("P106", Severity.ERROR, f"set S{sid}",
+                        "multi-op recipe in a code-motioned program")
+    _check_candidates(program, rep)
+    _check_dead_sets(program, rep)
+    _check_labels(program, rep, query_labels)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# plan-level checks
+# ---------------------------------------------------------------------------
+
+
+def _check_restrictions(plan: MatchingPlan, rep: DiagnosticReport) -> None:
+    k = plan.size
+    if len(plan.restrictions) != k:
+        rep.add("S201", Severity.ERROR, "plan",
+                f"{len(plan.restrictions)} restriction lists for {k} levels")
+        return
+    structurally_ok = True
+    for l, rs in enumerate(plan.restrictions):
+        if len(set(rs)) != len(rs):
+            rep.add("S201", Severity.ERROR, f"level {l}",
+                    f"duplicate restriction positions {list(rs)}")
+            structurally_ok = False
+        for i in rs:
+            if not 0 <= i < l:
+                rep.add("S201", Severity.ERROR, f"level {l}",
+                        f"restriction references position {i}, which is not "
+                        f"matched before level {l}")
+                structurally_ok = False
+    if not plan.symmetry_breaking:
+        if any(plan.restrictions):
+            rep.add("S202", Severity.ERROR, "plan",
+                    "symmetry breaking is off but restrictions are present — "
+                    "the count would silently become per-subgraph")
+        return
+    if not structurally_ok:
+        return
+    canonical = restrictions_by_level(plan.query)
+    got = [sorted(rs) for rs in plan.restrictions]
+    want = [sorted(rs) for rs in canonical]
+    if got != want:
+        bad = [l for l in range(k) if got[l] != want[l]]
+        rep.add("S202", Severity.ERROR,
+                "level " + ", ".join(str(l) for l in bad),
+                f"restrictions {[got[l] for l in bad]} do not match the "
+                f"canonical stabilizer-chain restrictions "
+                f"{[want[l] for l in bad]} for this matching order — counts "
+                "would be off by an automorphism factor")
+
+
+def verify_plan(plan: MatchingPlan, subject: str | None = None) -> DiagnosticReport:
+    """Full static verification of a :class:`MatchingPlan`."""
+    name = subject or f"plan[{plan.original_query.name or 'query'}]"
+    labels = (
+        [int(x) for x in plan.query.labels] if plan.query.labels is not None else None
+    )
+    rep = verify_program(
+        plan.program,
+        code_motion=plan.code_motion,
+        query_labels=labels,
+        subject=name,
+    )
+    if plan.program.num_levels != plan.size:
+        rep.add("P100", Severity.ERROR, "plan",
+                f"program has {plan.program.num_levels} levels for a "
+                f"size-{plan.size} query")
+    _check_restrictions(plan, rep)
+    return rep

@@ -199,6 +199,37 @@ class SetProgram:
             len(r.ops) <= 1 for r in self.recipes
         )
 
+    def dependency_edges(self) -> list[tuple[int, int]]:
+        """REF edges ``(consumer, dependency)`` of the set-dependence DAG."""
+        return [
+            (sid, r.base_arg)
+            for sid, r in enumerate(self.recipes)
+            if r.base is BaseKind.REF
+        ]
+
+    def last_use_level(self, set_id: int) -> int:
+        """Deepest level at which ``set_id`` is still read: the max over
+        its REF consumers' levels and — for candidate sets — the level
+        whose iteration walks it.  A set nobody reads dies at its own
+        level."""
+        r = self.recipes[set_id]
+        last = r.level
+        if r.is_candidate_for >= 0:
+            last = max(last, r.is_candidate_for)
+        for sid in self.consumers(set_id):
+            last = max(last, self.recipes[sid].level)
+        return last
+
+    def live_sets_at(self, level: int) -> list[int]:
+        """Set ids whose instances must be resident while the kernel sits
+        at ``level``: computed at or before it, still read at or after it.
+        This is the per-level slot pressure the resource linter prices."""
+        return [
+            sid
+            for sid, r in enumerate(self.recipes)
+            if r.level <= level <= self.last_use_level(sid)
+        ]
+
     # -- the paper's compact storage (Fig. 9b) --------------------------
 
     def to_compact(self) -> "CompactDependence":

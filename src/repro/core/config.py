@@ -32,9 +32,10 @@ class EngineConfig:
         level ≤ this (``DetectLevel``, Sec. V-B).  The paper's setting
         (1, with checks on re-entering the root loop) never fires when a
         warp stays inside one huge root subtree, so this adaptation
-        checks on *descents into* shallow levels instead; the default of
-        2 matches ``stop_level`` — push checks happen exactly where
-        divisible work lives.
+        checks on *descents into* shallow levels instead; the default
+        (``None``) resolves to ``min(2, stop_level)`` — push checks
+        happen exactly where divisible work lives, and values above
+        ``stop_level`` are rejected at construction.
     max_degree:
         Candidate-slot capacity; longer sets spill to host memory at a
         cost penalty (Sec. VIII-A).
@@ -54,7 +55,7 @@ class EngineConfig:
 
     unroll: int = 8
     stop_level: int = 2
-    detect_level: int = 2
+    detect_level: int | None = None  # resolved to min(2, stop_level)
     max_degree: int = 4096
     chunk_size: int = 4
     local_steal: bool = True
@@ -67,16 +68,37 @@ class EngineConfig:
     #   whose data-graph degree is below their query vertex's degree — a
     #   necessary condition under both matching semantics, so counts are
     #   unchanged (asserted by tests) while subtrees shrink
+    sanitize: bool = False
+    #   opt-in runtime sanitizer (repro.analysis.sanitizer): statically
+    #   verifies the plan at launch and checks every steal for segment
+    #   disjointness, conservation and frame invariants; raises
+    #   SanitizerError instead of silently corrupting counts
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
-            raise ValueError("unroll must be >= 1")
+            raise ValueError("unroll must be >= 1 (1 disables unrolling)")
         if self.stop_level < 0:
             raise ValueError("stop_level must be >= 0")
+        if self.detect_level is None:
+            # default: push checks exactly where divisible work lives
+            object.__setattr__(self, "detect_level", min(2, self.stop_level))
+        if self.detect_level < 0:
+            raise ValueError("detect_level must be >= 0")
+        if self.detect_level > self.stop_level:
+            # a push check below StopLevel would deposit stacks whose
+            # shallow frames can never be divided: the thief would spin on
+            # undividable work, i.e. a degenerate schedule
+            raise ValueError(
+                f"detect_level ({self.detect_level}) must not exceed "
+                f"stop_level ({self.stop_level}): steal_across_block checks "
+                "must fire where divisible work lives"
+            )
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         if self.max_degree < 1:
             raise ValueError("max_degree must be >= 1")
+        if self.max_results is not None and self.max_results < 1:
+            raise ValueError("max_results must be >= 1 (or None for exhaustive)")
 
     # -- ablation variants (Fig. 12) --------------------------------------
 

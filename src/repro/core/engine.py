@@ -103,6 +103,13 @@ class STMatchEngine:
                 order=order,
             )
         cfg = self.config
+        if cfg.sanitize:
+            # sanitize implies the static layer too: a malformed plan
+            # would trip the runtime checks anyway, so fail early with
+            # the verifier's structured diagnostics
+            from repro.analysis.verify import verify_plan
+
+            verify_plan(plan).raise_if_errors()
         dev = device or VirtualDevice(cfg.device)
         computer = CandidateComputer(self.graph, plan, cfg)
         try:

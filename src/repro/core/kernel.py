@@ -24,11 +24,14 @@ paper's core contrast with subgraph-centric systems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.pattern.plan import MatchingPlan
 from repro.virtgpu.device import VirtualDevice
 from repro.virtgpu.scheduler import EventScheduler, StepResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (analysis imports core)
+    from repro.analysis.sanitizer import StealSanitizer
 
 from .candidates import CandidateComputer
 from .config import EngineConfig
@@ -94,6 +97,7 @@ class KernelState:
     stop_flag: bool = False
     active_count: int = 0  # warps currently holding a nonempty stack
     tasks: list["WarpTask"] = field(default_factory=list)
+    sanitizer: "StealSanitizer | None" = None
 
     def block_tasks(self, block_id: int) -> list["WarpTask"]:
         wpb = self.config.device.warps_per_block
@@ -177,6 +181,8 @@ class WarpTask:
             arr = st.computer.root_candidates[chunk[0]: chunk[1]]
             if arr.size:
                 warp.charge_copy(arr.size, in_global=True)
+                if st.sanitizer is not None:
+                    st.sanitizer.on_chunk(warp, arr)
                 self._gain_work(st.computer.root_frame(arr))
             return StepResult.RUNNING
         # no steal levels enabled: the warp retires with the counter
@@ -203,9 +209,16 @@ class WarpTask:
         target = select_local_target(self, siblings, cfg.stop_level)
         if target is None:
             return False
+        san = st.sanitizer
+        snap = san.snapshot(target.stack) if san is not None else None
         work = divide_and_copy(target.stack, cfg.stop_level)
         if work.empty:
             return False
+        if san is not None:
+            assert snap is not None
+            san.on_steal("local", donor_warp=target.warp,
+                         donor_stack=target.stack, snapshot=snap, work=work,
+                         thief_warp=self.warp)
         self._gain_work(work.frames)
         self.warp.charge(self.warp.cost.steal_cycles(work.copied_elems, local=True))
         self.warp.counters.steals_received += 1
@@ -223,6 +236,8 @@ class WarpTask:
         self.warp.charge(
             self.warp.cost.steal_cycles(pending.work.copied_elems, local=False)
         )
+        if st.sanitizer is not None:
+            st.sanitizer.on_take(self.warp, pending.work)
         self._gain_work(pending.work.frames)
         self.warp.counters.steals_received += 1
         return True
@@ -239,13 +254,20 @@ class WarpTask:
         block = st.board.find_idle_block(exclude_block=warp.block_id)
         if block is None:
             return
+        san = st.sanitizer
+        snap = san.snapshot(self.stack) if san is not None else None
         work = divide_and_copy(self.stack, cfg.stop_level)
         if work.empty:
             return
+        if san is not None:
+            assert snap is not None
+            san.on_steal("global", donor_warp=warp, donor_stack=self.stack,
+                         snapshot=snap, work=work)
         warp.charge(warp.cost.steal_cycles(work.copied_elems, local=False))
         warp.counters.steals_initiated += 1
         st.num_global_steals += 1
-        st.board.deposit(block, work, warp.clock, warp.warp_id)
+        st.board.deposit(block, work, warp.clock, warp.warp_id,
+                         pusher_block=warp.block_id)
 
     # -- the loop body -----------------------------------------------------
 
@@ -266,6 +288,8 @@ class WarpTask:
         cand = f.active_cand()
         batch = cand[f.iter : f.iter + cfg.unroll]
         f.iter += int(batch.size)
+        if st.sanitizer is not None and f.level == 0 and batch.size:
+            st.sanitizer.on_root_batch(warp, batch)
         new_level = f.level + 1
         # steal_across_block check on level entry (Sec. V-B): fires for
         # shallow levels only, where the remaining workload justifies the
@@ -274,6 +298,8 @@ class WarpTask:
             self._maybe_push_global()
         frame = st.computer.compute_frame(warp, self.stack, new_level, batch)
         warp.counters.tree_nodes += int(batch.size)
+        if st.sanitizer is not None:
+            st.sanitizer.check_frame(warp, frame, "frame entry")
         if new_level == st.plan.size - 1:
             self._consume_leaf(frame)
             return StepResult.RUNNING
@@ -331,6 +357,12 @@ def run_kernel(
         num_blocks=device.num_blocks,
         warps_per_block=config.device.warps_per_block,
     )
+    sanitizer = None
+    if config.sanitize:
+        # late import: repro.analysis depends on core for types
+        from repro.analysis.sanitizer import StealSanitizer
+
+        sanitizer = StealSanitizer(plan, config)
     state = KernelState(
         plan=plan,
         config=config,
@@ -339,6 +371,7 @@ def run_kernel(
         chunks=chunks,
         board=board,
         on_match=on_match,
+        sanitizer=sanitizer,
     )
     state.tasks = [WarpTask(w, state) for w in device.warps]
     # one kernel launch: charge every warp the launch latency
@@ -348,6 +381,8 @@ def run_kernel(
         state.tasks, clock_of=lambda t: t.clock, step=lambda t: t.step()
     )
     sched.run()
+    if sanitizer is not None:
+        sanitizer.finalize(state)
     # kernel retired: warps that were spinning idle at the end accrue
     # idle time up to the makespan
     makespan = device.makespan_cycles()

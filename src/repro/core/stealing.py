@@ -54,11 +54,17 @@ def select_local_target(
 
 @dataclass
 class PendingWork:
-    """One deposited stack in a block's ``global_stks`` slot."""
+    """One deposited stack in a block's ``global_stks`` slot.
+
+    ``pusher_warp``/``pusher_block`` identify the depositing warp so the
+    steal sanitizer can name it when a collected stack is malformed
+    (-1 when the caller did not say).
+    """
 
     work: StolenWork
     pusher_clock: float
     pusher_warp: int
+    pusher_block: int = -1
 
 
 @dataclass
@@ -102,10 +108,22 @@ class GlobalStealBoard:
                 return b
         return None
 
-    def deposit(self, block_id: int, work: StolenWork, pusher_clock: float, pusher_warp: int) -> None:
+    def deposit(
+        self,
+        block_id: int,
+        work: StolenWork,
+        pusher_clock: float,
+        pusher_warp: int,
+        pusher_block: int = -1,
+    ) -> None:
         if self.slots[block_id] is not None:
             raise ValueError(f"global_stks[{block_id}] already occupied")
-        self.slots[block_id] = PendingWork(work=work, pusher_clock=pusher_clock, pusher_warp=pusher_warp)
+        self.slots[block_id] = PendingWork(
+            work=work,
+            pusher_clock=pusher_clock,
+            pusher_warp=pusher_warp,
+            pusher_block=pusher_block,
+        )
 
     def take(self, block_id: int) -> PendingWork | None:
         """A woken warp collects its block's deposited stack."""

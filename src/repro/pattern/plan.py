@@ -29,7 +29,12 @@ from .matching_order import exhaustive_order, greedy_order, validate_order
 from .query import QueryGraph
 from .symmetry import num_automorphisms, restrictions_by_level
 
-__all__ = ["MatchingPlan", "build_plan"]
+__all__ = [
+    "MatchingPlan",
+    "build_plan",
+    "add_plan_observer",
+    "remove_plan_observer",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,28 @@ class MatchingPlan:
         return "\n".join(lines)
 
 
+# Observers run on every plan build_plan produces, before it is returned.
+# The test suites register repro.analysis.verify here (autouse fixture) so
+# every plan any test compiles is verified for free; observers that raise
+# abort the build.  A list (not a module attribute that callers rebind)
+# because the engine holds build_plan by reference.
+_PLAN_OBSERVERS: list = []
+
+
+def add_plan_observer(fn) -> None:
+    """Register ``fn(plan)`` to run on every built plan."""
+    if fn not in _PLAN_OBSERVERS:
+        _PLAN_OBSERVERS.append(fn)
+
+
+def remove_plan_observer(fn) -> None:
+    """Unregister a previously added observer (no-op if absent)."""
+    try:
+        _PLAN_OBSERVERS.remove(fn)
+    except ValueError:
+        pass
+
+
 def build_plan(
     query: QueryGraph,
     data_graph: CSRGraph | None = None,
@@ -175,7 +202,7 @@ def build_plan(
         restrictions = [[] for _ in range(rq.size)]
         n_aut = num_automorphisms(rq)
     program = build_program(rq, vertex_induced=vertex_induced, code_motion=code_motion)
-    return MatchingPlan(
+    plan = MatchingPlan(
         query=rq,
         original_query=query,
         order=tuple(order),
@@ -186,3 +213,6 @@ def build_plan(
         code_motion=code_motion,
         num_automorphisms=n_aut,
     )
+    for observer in _PLAN_OBSERVERS:
+        observer(plan)
+    return plan

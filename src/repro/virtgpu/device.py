@@ -35,6 +35,16 @@ class DeviceConfig:
     global_mem_bytes: int = 96 * 1024 * 1024
     cost: GpuCostModel = field(default_factory=GpuCostModel)
 
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.warps_per_block < 1:
+            raise ValueError("warps_per_block must be >= 1")
+        if self.shared_mem_per_block < 1:
+            raise ValueError("shared_mem_per_block must be positive")
+        if self.global_mem_bytes < 1:
+            raise ValueError("global_mem_bytes must be positive")
+
     @property
     def num_warps(self) -> int:
         return self.num_blocks * self.warps_per_block

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite.
+
+The autouse session fixture below registers the static plan verifier
+(:mod:`repro.analysis.verify`) as a plan observer: every plan compiled
+by any test — through ``build_plan`` directly or via an engine — is
+verified, and any ERROR-severity diagnostic fails the test that built
+it.  This turns the whole suite into a fuzzer for the planner: a
+regression in code motion, symmetry breaking or label merging surfaces
+as a structured diagnostic at build time, not as a wrong count three
+layers later.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_plan
+from repro.pattern.plan import add_plan_observer, remove_plan_observer
+
+
+def _verify_built_plan(plan) -> None:
+    verify_plan(plan).raise_if_errors()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def verify_all_plans():
+    """Verify every plan built anywhere in the test session."""
+    add_plan_observer(_verify_built_plan)
+    try:
+        yield
+    finally:
+        remove_plan_observer(_verify_built_plan)

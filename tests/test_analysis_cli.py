@@ -1,0 +1,131 @@
+"""The ``python -m repro.analysis`` lint CLI."""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import lint_plan, main, resolve_patterns
+from repro.core.config import EngineConfig
+from repro.pattern.motifs import QUERIES
+from repro.pattern.plan import build_plan
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def run_main(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+# -- pattern resolution -------------------------------------------------------
+
+
+def test_resolve_default_is_full_builtin_set():
+    qs = resolve_patterns([])
+    names = [q.name for q in qs]
+    assert names[0] == "q1" and "q24" in names
+    assert "clique3" in names and "clique4" in names
+
+
+def test_resolve_specific_and_parametric():
+    qs = resolve_patterns(["q7", "clique5", "motifs:3"])
+    assert qs[0].name == "q7"
+    assert qs[1].size == 5 and qs[1].is_clique
+    assert all(q.size == 3 for q in qs[2:])
+    assert len(qs) >= 4  # triangle + path at least
+
+
+def test_resolve_unknown_pattern_raises():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        resolve_patterns(["q99x"])
+
+
+# -- lint command -------------------------------------------------------------
+
+
+def test_lint_all_builtins_clean():
+    code, out = run_main("lint")
+    assert code == 0, out
+    assert "clean" in out
+    assert "error" not in out
+
+
+def test_lint_verbose_shows_notes():
+    code, out = run_main("lint", "q5", "-v")
+    assert code == 0
+    assert "B405" in out  # the peak-pressure note
+
+
+def test_lint_detects_shared_overflow():
+    code, out = run_main("lint", "q5", "--unroll", "64", "--shared-mem", "4096")
+    assert code == 1
+    assert "B401" in out and "FAILED" in out
+    assert "fix:" in out
+
+
+def test_lint_naive_program_accepted():
+    code, out = run_main("lint", "q5", "--no-code-motion")
+    assert code == 0, out
+
+
+def test_lint_vertex_induced():
+    code, out = run_main("lint", "q1", "--vertex-induced")
+    assert code == 0, out
+
+
+def test_lint_split_labels_flags_fig10a_layout():
+    code, out = run_main("lint", "q13", "--labels", "2", "--split-labels")
+    assert code == 0  # warnings do not fail the lint
+    assert "L303" in out and "Fig. 10b" in out
+
+
+def test_lint_unknown_pattern_exits_2():
+    assert main(["lint", "q99x"], out=io.StringIO()) == 2
+
+
+def test_lint_split_labels_requires_labels():
+    assert main(["lint", "q5", "--split-labels"], out=io.StringIO()) == 2
+
+
+def test_lint_invalid_config_exits_2_without_traceback(capsys):
+    assert main(["lint", "q5", "--unroll", "0"], out=io.StringIO()) == 2
+    assert "unroll must be >= 1" in capsys.readouterr().err
+
+
+def test_rules_subcommand_prints_catalog():
+    code, out = run_main("rules")
+    assert code == 0
+    for rule in ("P105", "S202", "L303", "B401", "X501"):
+        assert rule in out
+
+
+# -- lint_plan API ------------------------------------------------------------
+
+
+def test_lint_plan_combines_verifier_and_budget():
+    plan = build_plan(QUERIES["q5"])
+    rep = lint_plan(plan, EngineConfig())
+    assert not rep.has_errors
+    assert rep.by_rule("B405")  # budget layer ran
+    assert rep.subject.startswith("plan[")
+
+
+# -- module entry point -------------------------------------------------------
+
+
+def test_module_invocation():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", "q5", "clique3"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "clean" in proc.stdout

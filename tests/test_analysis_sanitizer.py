@@ -1,0 +1,299 @@
+"""Work-stealing sanitizer: clean runs stay silent, corrupted steals raise.
+
+The engine-level mutation tests monkeypatch the kernel's
+``divide_and_copy`` with wrappers that corrupt the split *after* the
+legal division — duplicating a stolen segment, dropping candidates, or
+pushing ``iter`` past ``Csize`` — and assert the sanitizer converts the
+corruption into a :class:`SanitizerError` naming the warp and level,
+instead of the silent wrong count the engine would otherwise produce.
+"""
+
+from __future__ import annotations
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import PlanVerificationError
+from repro.analysis.sanitizer import SanitizerError, StealSanitizer
+from repro.core.config import EngineConfig
+from repro.core.engine import STMatchEngine
+from repro.core.stack import Frame, StolenWork, WarpStack, divide_and_copy
+from repro.graph.generators import powerlaw_cluster
+from repro.pattern.motifs import QUERIES
+from repro.pattern.plan import build_plan
+from repro.pattern.query import QueryGraph
+
+Q7 = QUERIES["q7"]
+
+
+@pytest.fixture(scope="module")
+def skewed_graph():
+    # degree-skewed graph: reliably triggers both steal levels
+    return powerlaw_cluster(150, m=4, p_triangle=0.6, seed=3)
+
+
+def make_sanitizer(stop_level: int = 2) -> StealSanitizer:
+    plan = build_plan(QueryGraph.clique(4, name="c4"))
+    cfg = EngineConfig(stop_level=stop_level)
+    return StealSanitizer(plan, cfg)
+
+
+def arr(*vals) -> np.ndarray:
+    return np.asarray(vals, dtype=np.int64)
+
+
+def root_frame(*cands) -> Frame:
+    return Frame(level=0, slot_vertices=np.empty(0, dtype=np.int64),
+                 cand=[arr(*cands)])
+
+
+def inner_frame(level: int, vertex: int, *cands) -> Frame:
+    return Frame(level=level, slot_vertices=arr(vertex), cand=[arr(*cands)])
+
+
+# -- frame / stack invariants (X504) ------------------------------------------
+
+
+def test_check_frame_accepts_legal_frame():
+    san = make_sanitizer()
+    san.check_frame(None, root_frame(1, 2, 3), "test")
+    assert san.checks == 1
+
+
+@pytest.mark.parametrize(
+    "corrupt, fragment",
+    [
+        (lambda f: setattr(f, "iter", 4), "iter"),          # past Csize=3
+        (lambda f: setattr(f, "uiter", 1), "uiter"),        # only 1 slot
+        (lambda f: setattr(f, "level", 9), "level"),        # plan has 4
+        (lambda f: f.cand.clear(), "slots"),                # no slots at all
+    ],
+)
+def test_check_frame_rejects_corruption(corrupt, fragment):
+    san = make_sanitizer()
+    f = root_frame(1, 2, 3)
+    corrupt(f)
+    with pytest.raises(SanitizerError) as ei:
+        san.check_frame(None, f, "test")
+    assert ei.value.rule == "X504"
+    assert fragment in str(ei.value)
+
+
+def test_check_stack_rejects_wrong_depth():
+    san = make_sanitizer()
+    stack = WarpStack()
+    stack.push(root_frame(1, 2))
+    stack.frames.append(inner_frame(2, 1, 5))  # depth 1 claims level 2
+    with pytest.raises(SanitizerError) as ei:
+        san.check_stack(None, stack, "test")
+    assert ei.value.rule == "X504"
+
+
+# -- root conservation (X505) -------------------------------------------------
+
+
+def test_root_reissue_detected():
+    san = make_sanitizer()
+    warp = types.SimpleNamespace(warp_id=0, block_id=0, clock=0.0)
+    san.on_chunk(warp, arr(0, 1, 2))
+    with pytest.raises(SanitizerError) as ei:
+        san.on_chunk(warp, arr(2, 3))
+    assert ei.value.rule == "X505"
+    assert "issued twice" in str(ei.value)
+
+
+def test_unowned_root_consumption_detected():
+    san = make_sanitizer()
+    warp = types.SimpleNamespace(warp_id=3, block_id=1, clock=5.0)
+    san.on_chunk(warp, arr(0, 1))
+    san.on_root_batch(warp, arr(0))
+    with pytest.raises(SanitizerError) as ei:
+        san.on_root_batch(warp, arr(0))  # consumed a second time
+    assert ei.value.rule == "X505"
+    assert "warp 3@block1" in ei.value.where
+
+
+def test_finalize_flags_dropped_roots():
+    san = make_sanitizer()
+    warp = types.SimpleNamespace(warp_id=0, block_id=0, clock=0.0)
+    san.on_chunk(warp, arr(7, 8))
+    state = types.SimpleNamespace(stop_flag=False, tasks=[])
+    with pytest.raises(SanitizerError) as ei:
+        san.finalize(state)
+    assert ei.value.rule == "X505"
+    assert "never" in str(ei.value)
+
+
+def test_finalize_skips_budget_stops():
+    san = make_sanitizer()
+    warp = types.SimpleNamespace(warp_id=0, block_id=0, clock=0.0)
+    san.on_chunk(warp, arr(7, 8))
+    san.finalize(types.SimpleNamespace(stop_flag=True, tasks=[]))  # no raise
+
+
+# -- divide-and-copy checks ---------------------------------------------------
+
+
+def steal_fixture(san):
+    """A legal local steal: donor stack, pre-steal snapshot, stolen work."""
+    warp = types.SimpleNamespace(warp_id=1, block_id=0, clock=10.0)
+    stack = WarpStack()
+    stack.push(root_frame(10, 11, 12, 13))
+    stack.push(inner_frame(1, 10, 20, 21, 22, 23))
+    snap = san.snapshot(stack)
+    work = divide_and_copy(stack, san.config.stop_level)
+    assert not work.empty
+    return warp, stack, snap, work
+
+
+def test_legal_steal_passes():
+    san = make_sanitizer()
+    warp, stack, snap, work = steal_fixture(san)
+    san.on_steal("local", donor_warp=warp, donor_stack=stack,
+                 snapshot=snap, work=work)
+    assert san.checks > 0
+
+
+def test_duplicated_segment_x501():
+    san = make_sanitizer()
+    warp, stack, snap, work = steal_fixture(san)
+    # re-append a stolen tail to the donor: both own it now
+    for i, sf in enumerate(work.frames):
+        seg = sf.cand[sf.uiter][sf.iter:]
+        if seg.size:
+            df = stack.frames[i]
+            df.cand[df.uiter] = np.concatenate([df.cand[df.uiter], seg])
+            break
+    with pytest.raises(SanitizerError) as ei:
+        san.on_steal("local", donor_warp=warp, donor_stack=stack,
+                     snapshot=snap, work=work)
+    assert ei.value.rule == "X501"
+    assert "duplicated" in str(ei.value)
+
+
+def test_dropped_candidates_x502():
+    san = make_sanitizer()
+    warp, stack, snap, work = steal_fixture(san)
+    for sf in work.frames:
+        if sf.cand[sf.uiter].size:
+            sf.cand[sf.uiter] = sf.cand[sf.uiter][:-1]
+            break
+    with pytest.raises(SanitizerError) as ei:
+        san.on_steal("local", donor_warp=warp, donor_stack=stack,
+                     snapshot=snap, work=work)
+    assert ei.value.rule == "X502"
+    assert "conservation" in str(ei.value)
+
+
+def test_steal_beyond_stop_level_x503():
+    san = make_sanitizer(stop_level=1)
+    work = StolenWork(
+        frames=[root_frame(1, 2), inner_frame(1, 1, 5, 6), inner_frame(2, 5, 7)],
+        copied_elems=5,
+    )
+    warp = types.SimpleNamespace(warp_id=2, block_id=1, clock=0.0)
+    with pytest.raises(SanitizerError) as ei:
+        san.on_take(warp, work)
+    assert ei.value.rule == "X503"
+    assert "level 2" in ei.value.where
+
+
+def test_error_carries_replay_trace():
+    san = make_sanitizer()
+    warp = types.SimpleNamespace(warp_id=0, block_id=0, clock=1.0)
+    san.on_chunk(warp, arr(0, 1, 2))
+    san.on_root_batch(warp, arr(0))
+    with pytest.raises(SanitizerError) as ei:
+        san.on_root_batch(warp, arr(0))
+    msg = str(ei.value)
+    assert "replay trace" in msg and "chunk" in msg and "consume" in msg
+
+
+# -- engine integration -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        EngineConfig.full(sanitize=True),
+        EngineConfig.localsteal(sanitize=True),
+        EngineConfig.local_global_steal(sanitize=True),
+    ],
+    ids=["full", "localsteal", "local+global"],
+)
+def test_sanitized_runs_reproduce_baseline_counts(skewed_graph, cfg):
+    baseline = STMatchEngine(skewed_graph, EngineConfig.naive()).run(Q7)
+    res = STMatchEngine(skewed_graph, cfg).run(Q7)
+    assert res.matches == baseline.matches
+    if cfg.local_steal:
+        assert res.num_local_steals > 0  # the checks actually ran
+
+
+def test_sanitize_verifies_plan_before_launch(skewed_graph):
+    import dataclasses
+
+    plan = build_plan(Q7)
+    none = tuple(() for _ in range(plan.size))
+    bad = dataclasses.replace(plan, restrictions=none)  # S202: dropped
+    eng = STMatchEngine(skewed_graph, EngineConfig.full(sanitize=True))
+    with pytest.raises(PlanVerificationError, match="S202"):
+        eng.run(bad)
+
+
+def _corrupting_engine(graph, corrupt, monkeypatch):
+    """Engine whose local steals are corrupted by ``corrupt(stack, work)``."""
+    import repro.core.kernel as kernel_mod
+
+    def bad_divide(stack, stop_level):
+        work = divide_and_copy(stack, stop_level)
+        if not work.empty:
+            corrupt(stack, work)
+        return work
+
+    monkeypatch.setattr(kernel_mod, "divide_and_copy", bad_divide)
+    return STMatchEngine(graph, EngineConfig.localsteal(sanitize=True))
+
+
+def test_engine_catches_duplicated_steal_segment(skewed_graph, monkeypatch):
+    def duplicate(stack, work):
+        for i, sf in enumerate(work.frames):
+            seg = sf.cand[sf.uiter][sf.iter:]
+            if seg.size:
+                df = stack.frames[i]
+                df.cand[df.uiter] = np.concatenate([df.cand[df.uiter], seg])
+                return
+
+    eng = _corrupting_engine(skewed_graph, duplicate, monkeypatch)
+    with pytest.raises(SanitizerError) as ei:
+        eng.run(Q7)
+    assert ei.value.rule in ("X501", "X505")  # overlap, or re-consumed roots
+    assert "warp" in ei.value.where and "block" in ei.value.where
+
+
+def test_engine_catches_off_by_one_iter(skewed_graph, monkeypatch):
+    def off_by_one(stack, work):
+        for sf in work.frames:
+            if sf.cand[sf.uiter].size:
+                sf.iter = int(sf.cand[sf.uiter].size) + 1
+                return
+
+    eng = _corrupting_engine(skewed_graph, off_by_one, monkeypatch)
+    with pytest.raises(SanitizerError) as ei:
+        eng.run(Q7)
+    assert ei.value.rule == "X504"
+    assert "iter" in str(ei.value) and "level" in ei.value.where
+
+
+def test_engine_catches_dropped_candidates(skewed_graph, monkeypatch):
+    def drop_tail(stack, work):
+        for sf in work.frames:
+            if sf.cand[sf.uiter].size:
+                sf.cand[sf.uiter] = sf.cand[sf.uiter][:-1]
+                return
+
+    eng = _corrupting_engine(skewed_graph, drop_tail, monkeypatch)
+    with pytest.raises(SanitizerError) as ei:
+        eng.run(Q7)
+    assert ei.value.rule == "X502"

@@ -1,0 +1,303 @@
+"""Plan verifier: clean plans stay clean, seeded defects are caught.
+
+Each mutation test corrupts a *valid* plan post-construction (recipes
+are frozen dataclasses, so ``object.__setattr__``; the program's lists
+are mutable) and asserts the exact rule id the verifier reports — the
+defect classes the static layer exists to catch: use-before-def,
+dependency cycles, un-lifted invariant ops, schedule/candidate-table
+corruption, broken symmetry restrictions and label-filter bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import PlanVerificationError, Severity
+from repro.analysis.verify import (
+    earliest_level,
+    structural_groups,
+    verify_plan,
+    verify_program,
+)
+from repro.codemotion.depgraph import BaseKind
+from repro.codemotion.labeled import split_labeled_program
+from repro.pattern.motifs import QUERIES
+from repro.pattern.plan import add_plan_observer, build_plan, remove_plan_observer
+from repro.pattern.query import QueryGraph
+
+
+def clique_plan(k: int = 4, **kw):
+    return build_plan(QueryGraph.clique(k, name=f"clique{k}"), **kw)
+
+
+def labeled_query(query: QueryGraph, num_labels: int) -> QueryGraph:
+    labels = [i % num_labels for i in range(query.size)]
+    return QueryGraph(
+        adj=query.adj,
+        labels=np.asarray(labels, dtype=np.int64),
+        name=f"{query.name}+L{num_labels}",
+    )
+
+
+def rules_of(report):
+    return {d.rule for d in report}
+
+
+# -- clean plans --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["q1", "q5", "q7", "q13", "q16"])
+@pytest.mark.parametrize("vertex_induced", [False, True])
+@pytest.mark.parametrize("code_motion", [False, True])
+def test_builtin_plans_verify_clean(name, vertex_induced, code_motion):
+    plan = build_plan(
+        QUERIES[name], vertex_induced=vertex_induced, code_motion=code_motion
+    )
+    rep = verify_plan(plan)
+    assert not rep.has_errors, rep.render()
+
+
+def test_labeled_merged_plan_verifies_clean():
+    plan = build_plan(labeled_query(QUERIES["q13"], 2))
+    rep = verify_plan(plan)
+    assert not rep.has_errors, rep.render()
+    # merged multi-label sets: no per-label duplication warning
+    assert not rep.by_rule("L303")
+
+
+# -- seeded defects -----------------------------------------------------------
+
+
+def test_use_before_def_ref_to_later_level():
+    plan = clique_plan()
+    r1 = plan.program.recipes[1]
+    object.__setattr__(r1, "base", BaseKind.REF)
+    object.__setattr__(r1, "base_arg", 2)  # S1@L1 now reads S2@L2
+    rep = verify_plan(plan)
+    assert "P102" in rules_of(rep.errors)
+    (d,) = [d for d in rep.by_rule("P102")]
+    assert "S2" in d.message and "level 2" in d.message
+
+
+def test_use_before_def_dangling_ref():
+    plan = clique_plan()
+    object.__setattr__(plan.program.recipes[2], "base_arg", 99)
+    rep = verify_plan(plan)
+    assert "P102" in rules_of(rep.errors)
+    assert earliest_level(plan.program, 2) == -1
+
+
+def test_operand_before_match():
+    plan = clique_plan()
+    r2 = plan.program.recipes[2]
+    ops = (dataclasses.replace(r2.ops[0], position=3),)  # reads m[3] at L2
+    object.__setattr__(r2, "ops", ops)
+    rep = verify_plan(plan)
+    assert "P103" in rules_of(rep.errors)
+
+
+def test_dependency_cycle():
+    plan = clique_plan()
+    object.__setattr__(plan.program.recipes[2], "base_arg", 3)  # S2 <-> S3
+    rep = verify_plan(plan)
+    assert "P104" in rules_of(rep.errors)
+    (d,) = rep.by_rule("P104")
+    assert "->" in d.message  # the cycle is spelled out
+
+
+def test_unlifted_invariant_op():
+    # the naive star program recomputes N(m[0]) at levels 2 and 3; checked
+    # as a code-motioned program that is exactly an un-lifted invariant op
+    star = QueryGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)], name="star4")
+    naive = build_plan(star, code_motion=False).program
+    rep = verify_program(naive, code_motion=True)
+    lifts = rep.by_rule("P105")
+    assert len(lifts) == 2
+    assert all(d.severity is Severity.ERROR for d in lifts)
+    assert "not lifted" in lifts[0].message
+    # the same program is legal when declared naive
+    assert not verify_program(naive, code_motion=False).has_errors
+
+
+def test_multi_op_recipe_in_code_motioned_program():
+    # vertex-induced naive programs keep whole chains per level
+    naive = build_plan(
+        QUERIES["q5"], vertex_induced=True, code_motion=False
+    ).program
+    assert naive.max_chain_length > 1
+    rep = verify_program(naive, code_motion=True)
+    assert "P106" in rules_of(rep.errors)
+
+
+def test_schedule_duplicate_and_missing():
+    plan = clique_plan()
+    plan.program.sets_at_level[2] = [2, 2]
+    rep = verify_plan(plan)
+    assert "P101" in rules_of(rep.errors)
+
+
+def test_candidate_table_mismatch():
+    plan = clique_plan()
+    plan.program.candidate_of_level[2] = 1
+    rep = verify_plan(plan)
+    assert "P107" in rules_of(rep.errors)
+
+
+def test_plan_shape_mismatch_short_circuits():
+    plan = clique_plan()
+    plan.program.candidate_of_level.pop()
+    rep = verify_plan(plan)
+    assert "P100" in rules_of(rep.errors)
+
+
+def test_dead_set_warning():
+    plan = build_plan(QUERIES["q1"], vertex_induced=True)
+    prog = plan.program
+    dead = [s for s, r in enumerate(prog.recipes) if r.is_candidate_for < 0]
+    assert dead, "q1 vertex-induced should carry lifted intermediate sets"
+    sid = dead[0]
+    for c in prog.consumers(sid):
+        rc = prog.recipes[c]
+        object.__setattr__(rc, "base", BaseKind.NEIGHBORS)
+        object.__setattr__(rc, "base_arg", 0)
+    rep = verify_plan(plan)
+    assert any(d.location == f"set S{sid}" for d in rep.by_rule("P108"))
+
+
+# -- symmetry restrictions ----------------------------------------------------
+
+
+def test_restriction_references_unmatched_position():
+    plan = clique_plan()
+    bad = list(plan.restrictions)
+    bad[1] = (1,)  # level 1 restricted against itself
+    plan = dataclasses.replace(plan, restrictions=tuple(bad))
+    rep = verify_plan(plan)
+    assert "S201" in rules_of(rep.errors)
+
+
+def test_dropped_restrictions_caught():
+    plan = clique_plan()
+    none = tuple(() for _ in range(plan.size))
+    plan = dataclasses.replace(plan, restrictions=none)
+    rep = verify_plan(plan)
+    assert "S202" in rules_of(rep.errors)
+    (d,) = rep.by_rule("S202")
+    assert "automorphism" in d.message
+
+
+def test_restrictions_present_without_symmetry_breaking():
+    plan = clique_plan()
+    plan = dataclasses.replace(plan, symmetry_breaking=False)
+    rep = verify_plan(plan)
+    assert "S202" in rules_of(rep.errors)
+
+
+def test_no_symmetry_plan_is_clean():
+    plan = clique_plan(symmetry_breaking=False)
+    assert not verify_plan(plan).has_errors
+
+
+# -- label filters ------------------------------------------------------------
+
+
+def test_label_filter_on_unlabeled_query():
+    plan = clique_plan(3)
+    object.__setattr__(plan.program.recipes[1], "label_filter", frozenset({0}))
+    rep = verify_plan(plan)
+    assert "L304" in rules_of(rep.errors)
+
+
+def test_candidate_set_with_wrong_label():
+    plan = build_plan(labeled_query(QueryGraph.clique(3, name="c3"), 2))
+    sid = plan.program.candidate_of_level[1]
+    want = int(plan.query.labels[1])
+    object.__setattr__(
+        plan.program.recipes[sid], "label_filter", frozenset({want + 17})
+    )
+    rep = verify_plan(plan)
+    assert "L301" in rules_of(rep.errors)
+
+
+def test_narrowed_filter_drops_downstream_labels():
+    plan = build_plan(labeled_query(QUERIES["q13"], 2))
+    prog = plan.program
+    # a shared set whose consumers need more labels than we leave it with
+    shared = [
+        s for s, r in enumerate(prog.recipes)
+        if r.label_filter is not None and len(r.label_filter) > 1 and prog.consumers(s)
+    ]
+    assert shared, "q13+L2 should merge a multi-label set"
+    sid = shared[0]
+    keep = min(prog.recipes[sid].label_filter)
+    object.__setattr__(prog.recipes[sid], "label_filter", frozenset({keep}))
+    rep = verify_plan(plan)
+    assert "L302" in rules_of(rep.errors)
+    assert any("silently lost" in d.message for d in rep.by_rule("L302"))
+
+
+def test_split_label_program_flags_duplication():
+    plan = build_plan(labeled_query(QUERIES["q13"], 2))
+    split = split_labeled_program(plan.program, plan.query)
+    labels = [int(x) for x in plan.query.labels]
+    rep = verify_program(split, code_motion=plan.code_motion, query_labels=labels)
+    dups = rep.by_rule("L303")
+    assert dups and all(d.severity is Severity.WARNING for d in dups)
+    assert "Fig. 10b" in (dups[0].hint or "")
+    # and the duplication is visible to the structural grouping directly
+    assert any(len(g) > 1 for g in structural_groups(split).values())
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def test_earliest_level_matches_lifted_levels():
+    prog = clique_plan().program
+    for sid, r in enumerate(prog.recipes):
+        assert earliest_level(prog, sid) == r.level
+
+
+def test_structural_groups_all_singletons_unlabeled():
+    prog = clique_plan().program
+    assert all(len(g) == 1 for g in structural_groups(prog).values())
+
+
+def test_raise_if_errors_carries_report():
+    plan = clique_plan()
+    object.__setattr__(plan.program.recipes[2], "base_arg", 99)
+    rep = verify_plan(plan)
+    with pytest.raises(PlanVerificationError) as ei:
+        rep.raise_if_errors()
+    assert ei.value.report is rep
+    assert "P102" in str(ei.value)
+
+
+# -- the build_plan observer hook --------------------------------------------
+
+
+def test_plan_observers_run_on_every_build():
+    seen = []
+    add_plan_observer(seen.append)
+    try:
+        p = build_plan(QueryGraph.clique(3, name="c3"))
+        assert seen and seen[-1] is p
+    finally:
+        remove_plan_observer(seen.append)
+    n = len(seen)
+    build_plan(QueryGraph.clique(3, name="c3"))
+    assert len(seen) == n  # removed observers no longer fire
+
+
+def test_plan_observer_exceptions_abort_build():
+    def boom(plan):
+        raise RuntimeError("observer rejected the plan")
+
+    add_plan_observer(boom)
+    try:
+        with pytest.raises(RuntimeError, match="observer rejected"):
+            build_plan(QueryGraph.clique(3, name="c3"))
+    finally:
+        remove_plan_observer(boom)
