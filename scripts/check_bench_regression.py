@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Gate fast-path performance: compare BENCH_fastpath.json files.
+
+Two modes:
+
+* ``check_bench_regression.py CURRENT.json`` — validate a single bench
+  file's invariants: every workload must report byte-identical matches
+  and cycles between the two backends, and the geomean speedup must
+  reach ``--min-speedup`` (default 3.0, the acceptance floor).
+
+* ``check_bench_regression.py BASELINE.json CURRENT.json`` — the CI
+  gate: additionally fail if any workload tracked by the baseline got
+  more than ``--threshold`` (default 20%) slower on the fast path, or
+  disappeared from the current file.
+
+Exit status 0 = pass, 1 = regression/violation, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if "workloads" not in data:
+        print(f"error: {path} has no 'workloads' key (not a fastpath bench file?)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def by_key(data: dict) -> dict[str, dict]:
+    return {w["key"]: w for w in data["workloads"]}
+
+
+def check_invariants(data: dict, min_speedup: float | None) -> list[str]:
+    """Identity and speedup-floor violations inside one bench file."""
+    problems = []
+    for w in data["workloads"]:
+        if not w.get("identical_matches", False):
+            problems.append(f"{w['key']}: fastpath changed the match count")
+        if not w.get("identical_cycles", False):
+            problems.append(f"{w['key']}: fastpath changed the simulated cycles")
+    if min_speedup is not None:
+        gm = data.get("geomean_speedup")
+        if gm is None or gm < min_speedup:
+            problems.append(
+                f"geomean speedup {gm} is below the {min_speedup}× floor"
+            )
+    return problems
+
+
+def check_regressions(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Per-workload fast-path wall-clock regressions beyond ``threshold``."""
+    problems = []
+    cur = by_key(current)
+    for key, base_w in by_key(baseline).items():
+        cur_w = cur.get(key)
+        if cur_w is None:
+            problems.append(f"{key}: tracked workload missing from current bench")
+            continue
+        base_s = base_w["wall_s_fastpath"]
+        cur_s = cur_w["wall_s_fastpath"]
+        if base_s > 0 and cur_s > base_s * (1.0 + threshold):
+            problems.append(
+                f"{key}: fastpath wall {cur_s:.3f}s is "
+                f"{cur_s / base_s - 1.0:+.0%} vs baseline {base_s:.3f}s "
+                f"(threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline", help="baseline JSON (or the only file to validate)")
+    p.add_argument("current", nargs="?", default=None,
+                   help="current JSON to compare against the baseline")
+    p.add_argument("--threshold", type=float, default=0.20,
+                   help="allowed fractional slowdown per workload (default 0.20)")
+    p.add_argument("--min-speedup", type=float, default=3.0,
+                   help="required geomean speedup in the current file "
+                        "(default 3.0; pass 0 to disable)")
+    args = p.parse_args(argv)
+
+    min_speedup = args.min_speedup if args.min_speedup > 0 else None
+    if args.current is None:
+        current = load(args.baseline)
+        problems = check_invariants(current, min_speedup)
+    else:
+        baseline = load(args.baseline)
+        current = load(args.current)
+        problems = check_invariants(current, min_speedup)
+        problems += check_regressions(baseline, current, args.threshold)
+
+    if problems:
+        for msg in problems:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    n = len(current["workloads"])
+    print(f"ok: {n} workload(s), geomean speedup "
+          f"{current.get('geomean_speedup')}×, identity invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.codemotion.depgraph import SetProgram
 from repro.core.config import EngineConfig
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import DEFAULT_BITMAP_THRESHOLD, CSRGraph
 from repro.pattern.plan import MatchingPlan
 from repro.virtgpu.device import DeviceConfig
 
@@ -205,6 +205,20 @@ def lint_budget(
             "at a latency penalty (Sec. VIII-A)",
             hint=f"raise max_degree toward {graph.max_degree()} if memory allows",
         )
+    if graph is not None and config.bitmap_threshold is None:
+        hub_deg = int(graph.max_degree())
+        if hub_deg >= DEFAULT_BITMAP_THRESHOLD:
+            rep.add(
+                "B406", Severity.WARNING, "config.bitmap_threshold",
+                f"max operand size {hub_deg} reaches the adjacency-bitmap "
+                f"threshold ({DEFAULT_BITMAP_THRESHOLD}) but no bitmap index "
+                "is configured: every set op against a hub neighbor list "
+                "pays a host-side binary search the fast path could answer "
+                "with an O(1) row lookup",
+                hint=f"set EngineConfig(bitmap_threshold={DEFAULT_BITMAP_THRESHOLD}) "
+                "to index hub adjacency rows (host wall-clock only; "
+                "simulated cycles are unchanged)",
+            )
     rep.add(
         "B405", Severity.NOTE, f"level {est.peak_live_level}",
         f"peak slot pressure: {est.peak_live_sets} live set(s) × unroll "

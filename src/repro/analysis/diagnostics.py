@@ -63,6 +63,7 @@ RULE_CATALOG: dict[str, str] = {
     "B403": "fixed global footprint (graph + candidate stack C) overflows the device",
     "B404": "neighbor lists longer than max_degree spill to host memory",
     "B405": "peak live-set report (informational)",
+    "B406": "hub operands reach the adjacency-bitmap threshold but no bitmap index is configured",
     "X501": "steal segment duplicated between donor and thief",
     "X502": "steal dropped or invented candidates",
     "X503": "steal touched a frame deeper than stop_level",

@@ -9,6 +9,11 @@ Examples::
     python -m repro.bench table2a --queries q5 q7 q8 --budget 500000
     python -m repro.bench fig12 --datasets mico
     python -m repro.bench all --budget 200000
+    python -m repro.bench fastpath --json BENCH_fastpath.json
+
+For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
+``wiki_vote/q1 mico/q4``) and ``--json`` writes the A/B payload that
+``scripts/check_bench_regression.py`` consumes.
 """
 
 from __future__ import annotations
@@ -40,6 +45,12 @@ EXPERIMENTS = {
     "codemotion": lambda a: experiments.codemotion_ablation(
         queries=a.queries, budget=a.budget
     ),
+    "fastpath": lambda a: experiments.fastpath_bench(
+        workloads=[tuple(w.split("/", 1)) for w in a.datasets]
+        if a.datasets else None,
+        budget=a.budget,
+        scale=a.scale or "small",
+    ),
 }
 
 
@@ -60,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default=None,
                    choices=["tiny", "small", "medium"],
                    help="dataset scale override")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the experiment's raw data dict as JSON "
+                        "(e.g. BENCH_fastpath.json for the fastpath A/B)")
     return p
 
 
@@ -75,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ERROR: {name}: systems disagree on match counts",
                   file=sys.stderr)
             return 1
+        if args.json and len(names) == 1:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(result.data, fh, indent=2, default=str)
+                fh.write("\n")
+            print(f"[wrote {args.json}]")
     return 0
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "fig12_ablation",
     "fig13_unroll_utilization",
     "codemotion_ablation",
+    "fastpath_bench",
 ]
 
 
@@ -356,3 +357,102 @@ def codemotion_ablation(
     t.add_note("paper: 'If we disable code motion, the naive baseline will be "
                "about 3× slower'")
     return ExperimentResult(experiment="codemotion", rendered=t.render(), data=raw)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized fast path — host wall-clock benchmark (docs/PERFORMANCE.md)
+# ---------------------------------------------------------------------------
+
+FASTPATH_WORKLOADS: list[tuple[str, str]] = [
+    ("wiki_vote", "q1"),
+    ("wiki_vote", "q7"),
+    ("enron", "q3"),
+    ("mico", "q1"),
+]
+
+
+def fastpath_bench(
+    workloads: list[tuple[str, str]] | None = None,
+    budget: int | None = 2_000_000,
+    scale: str = "small",
+    census: tuple[str, int] | None = ("wiki_vote", 4),
+) -> ExperimentResult:
+    """Wall-clock A/B of the vectorized ``getCandidates`` backend.
+
+    Runs every workload twice — ``fastpath=False`` (the per-slot
+    reference path) and ``fastpath=True`` — and records host wall
+    seconds for each, asserting that match counts and simulated cycle
+    totals are byte-identical (the fast path's contract).  ``census``
+    optionally appends a motif-census row (all connected motifs of the
+    given size, no budget), the paper's motif-counting application.
+    The ``data`` dict is the BENCH_fastpath.json payload.
+    """
+    import time as _time
+
+    workloads = FASTPATH_WORKLOADS if workloads is None else workloads
+    t = TextTable(
+        title=f"Fast-path wall clock (scale={scale!r}, budget={budget})",
+        columns=["workload", "matches", "reference s", "fastpath s",
+                 "speedup", "identical"],
+    )
+    rows = []
+    runs: dict[str, tuple[RunResult, RunResult]] = {}
+
+    def run_pair(key, graph, queries, vertex_induced, budget):
+        """Time both backends over the workload's query list."""
+        walls = []
+        totals = []
+        for fast in (False, True):
+            cfg = EngineConfig(fastpath=fast, max_results=budget)
+            engine = STMatchEngine(graph, cfg)
+            matches = 0
+            cycles = 0.0
+            t0 = _time.perf_counter()
+            for q in queries:
+                res = engine.run(q, vertex_induced=vertex_induced)
+                matches += res.matches
+                cycles += res.cycles
+            walls.append(_time.perf_counter() - t0)
+            totals.append((matches, cycles))
+        (ref_m, ref_c), (fast_m, fast_c) = totals
+        wall_ref, wall_fast = walls
+        speedup = wall_ref / wall_fast if wall_fast else float("inf")
+        row = {
+            "key": key,
+            "matches": ref_m,
+            "cycles": ref_c,
+            "wall_s_reference": round(wall_ref, 4),
+            "wall_s_fastpath": round(wall_fast, 4),
+            "speedup": round(speedup, 3),
+            "identical_matches": ref_m == fast_m,
+            "identical_cycles": ref_c == fast_c,
+        }
+        rows.append(row)
+        t.add_row(key, ref_m, f"{wall_ref:.2f}", f"{wall_fast:.2f}",
+                  f"{speedup:.2f}×",
+                  "yes" if row["identical_matches"] and row["identical_cycles"]
+                  else "NO")
+
+    for ds, qn in workloads:
+        w = make_workload(ds, qn, scale=scale, budget=budget)
+        run_pair(f"{ds}/{qn}", w.graph, [w.query], False, w.budget)
+    if census is not None:
+        ds, size = census
+        from repro.pattern.motifs import connected_motifs
+
+        graph = load_dataset(ds, scale=scale)
+        run_pair(f"{ds}/census{size}", graph, connected_motifs(size), True, None)
+
+    speedups = [r["speedup"] for r in rows]
+    gm = geomean(speedups) if speedups else float("nan")
+    t.add_note(f"geomean speedup {gm:.2f}× — identical columns assert "
+               "byte-identical matches AND simulated cycles (the "
+               "cost-model-preservation contract)")
+    data = {
+        "experiment": "fastpath",
+        "scale": scale,
+        "budget": budget,
+        "workloads": rows,
+        "geomean_speedup": round(gm, 3),
+    }
+    return ExperimentResult(experiment="fastpath", rendered=t.render(), data=data)

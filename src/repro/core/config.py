@@ -73,6 +73,19 @@ class EngineConfig:
     #   verifies the plan at launch and checks every steal for segment
     #   disjointness, conservation and frame invariants; raises
     #   SanitizerError instead of silently corrupting counts
+    fastpath: bool = True
+    #   vectorized getCandidates backend (docs/PERFORMANCE.md): batched
+    #   CSR gathers, one segmented searchsorted per set operation,
+    #   sorted-merge filtering and count-only leaves.  Semantics- and
+    #   cost-model-preserving: match counts and simulated cycles are
+    #   byte-identical to the per-slot reference path (property-tested);
+    #   only host wall-clock changes.  False selects the reference path.
+    bitmap_threshold: int | None = None
+    #   optional adjacency bitmap index (GSI-style): vertices whose
+    #   degree reaches the threshold get dense boolean adjacency rows so
+    #   hot operand membership tests are O(1) lookups on the host.
+    #   None disables the index; only the fastpath consults it, and the
+    #   simulated binary-search charges are unchanged either way.
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -99,6 +112,8 @@ class EngineConfig:
             raise ValueError("max_degree must be >= 1")
         if self.max_results is not None and self.max_results < 1:
             raise ValueError("max_results must be >= 1 (or None for exhaustive)")
+        if self.bitmap_threshold is not None and self.bitmap_threshold < 1:
+            raise ValueError("bitmap_threshold must be >= 1 (or None to disable)")
 
     # -- ablation variants (Fig. 12) --------------------------------------
 

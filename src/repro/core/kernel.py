@@ -296,6 +296,20 @@ class WarpTask:
         # push overhead
         if cfg.global_steal and new_level <= cfg.detect_level:
             self._maybe_push_global()
+        if (
+            new_level == st.plan.size - 1
+            and st.on_match is None
+            and st.sanitizer is None
+            and cfg.fastpath
+        ):
+            # count-only leaf: the last level's candidates are never
+            # iterated, only counted, so skip materializing their arrays
+            counts = st.computer.compute_frame(
+                warp, self.stack, new_level, batch, count_only=True
+            )
+            warp.counters.tree_nodes += int(batch.size)
+            self._count_leaf(int(counts.sum()))
+            return StepResult.RUNNING
         frame = st.computer.compute_frame(warp, self.stack, new_level, batch)
         warp.counters.tree_nodes += int(batch.size)
         if st.sanitizer is not None:
@@ -313,16 +327,24 @@ class WarpTask:
         if total == 0:
             return
         if st.on_match is not None:
-            prefix = self.stack.partial_match()
+            prefix = tuple(self.stack.partial_match())
+            slots = frame.slot_vertices.tolist()
             for u in range(frame.nslots):
-                if frame.cand[u].size == 0:
+                c = frame.cand[u]
+                if c.size == 0:
                     continue
-                mu = prefix + [int(frame.slot_vertices[u])]
-                for v in frame.cand[u]:
-                    st.on_match(tuple(mu) + (int(v),))
+                mu = prefix + (slots[u],)
+                for v in c.tolist():
+                    st.on_match(mu + (v,))
+        self._count_leaf(total)
+
+    def _count_leaf(self, total: int) -> None:
+        """Charge and book ``total`` leaf matches (no-op when zero)."""
+        if total == 0:
+            return
         self.warp.charge(self.warp.cost.warp_issue + self.warp.cost.global_access)
         self.warp.counters.matches += total
-        st.add_matches(total)
+        self.state.add_matches(total)
 
 
 def run_kernel(

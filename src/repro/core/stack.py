@@ -62,7 +62,8 @@ class Frame:
 
     def remaining_active(self) -> int:
         """Unconsumed candidates in the active slot."""
-        return max(0, self.active_cand().size - self.iter)
+        rem = self.cand[self.uiter].size - self.iter
+        return rem if rem > 0 else 0
 
     def remaining_total(self) -> int:
         """Unconsumed candidates across the active and later slots."""
@@ -141,9 +142,12 @@ class WarpStack:
         return score
 
     def has_stealable(self, stop_level: int) -> bool:
-        return any(
-            f.remaining_active() >= 2 for f in self.frames if f.level <= stop_level
-        )
+        for f in self.frames:  # frames are level-ordered, so break early
+            if f.level > stop_level:
+                break
+            if f.cand[f.uiter].size - f.iter >= 2:
+                return True
+        return False
 
 
 @dataclass

@@ -17,7 +17,13 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "DEFAULT_BITMAP_THRESHOLD"]
+
+#: degree at which a vertex's neighbor list is worth a dense bitmap row:
+#: membership tests against such operands dominate ``getCandidates`` on
+#: skewed graphs (GSI's encoding-table argument), and the B406 lint rule
+#: flags graphs whose max degree crosses this line.
+DEFAULT_BITMAP_THRESHOLD = 1024
 
 
 def _as_int32(a: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -177,15 +183,77 @@ class CSRGraph:
         return int(self.labels.max()) + 1 if self.labels.size else 0
 
     def degree(self, v: int | np.ndarray | None = None) -> np.ndarray | int:
-        """Degree of one vertex, an array of vertices, or all vertices."""
-        deg = np.diff(self.indptr)
+        """Degree of one vertex, an array of vertices, or all vertices.
+
+        The full degree array is computed once and cached (the graph is
+        immutable); callers must treat the returned array as read-only.
+        """
+        deg = getattr(self, "_degree_cache", None)
+        if deg is None:
+            deg = np.diff(self.indptr).astype(np.int64)
+            object.__setattr__(self, "_degree_cache", deg)
         if v is None:
-            return deg.astype(np.int64)
+            return deg
         return deg[v]
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor list of ``v`` (a zero-copy CSR slice)."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbors_batch(self, vs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbor lists of a batch of vertices.
+
+        Returns ``(values, offsets)``: ``values`` holds the sorted
+        neighbor lists of ``vs`` back to back in one ``int32`` array and
+        ``offsets`` (``int64``, length ``len(vs) + 1``) delimits them —
+        the list of ``vs[i]`` is ``values[offsets[i]:offsets[i + 1]]``.
+        One fancy-index gather replaces ``len(vs)`` CSR slices, which is
+        the segmented operand form of the engine's vectorized fast path.
+        """
+        vs = np.asarray(vs, dtype=np.int64)
+        starts = self.indptr[vs]
+        lens = self.indptr[vs + 1] - starts
+        offsets = np.empty(vs.size + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(lens, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.int32), offsets
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets[:-1], lens)
+        return self.indices[idx], offsets
+
+    def in_neighbors_batch(self, vs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`in_neighbors` (equals :meth:`neighbors_batch`
+        when undirected)."""
+        return self.reversed_view().neighbors_batch(vs)
+
+    def adjacency_bitmap(self, threshold: int) -> dict[int, np.ndarray]:
+        """Dense boolean adjacency rows for vertices of degree ≥ ``threshold``.
+
+        ``result[v][u]`` is True iff ``(v, u)`` is an arc.  Rows exist
+        only for high-degree vertices — the hub operands whose binary
+        searches dominate set operations — so the index costs
+        ``O(num_hubs × n)`` bytes.  Cached per threshold; rows are
+        read-only.  This is a host-side lookup structure (GSI-style
+        encoding table): engines that use it must charge the unchanged
+        binary-search cost model.
+        """
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        cache = getattr(self, "_bitmap_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_bitmap_cache", cache)
+        rows = cache.get(threshold)
+        if rows is None:
+            rows = {}
+            deg = self.degree()
+            for v in np.nonzero(deg >= threshold)[0]:
+                row = np.zeros(self.num_vertices, dtype=bool)
+                row[self.neighbors(int(v))] = True
+                rows[int(v)] = row
+            cache[threshold] = rows
+        return rows
 
     def reversed_view(self) -> "CSRGraph":
         """CSR over the reversed arcs (in-neighbors), cached.
@@ -221,11 +289,11 @@ class CSRGraph:
         return i < row.size and int(row[i]) == v
 
     def max_degree(self) -> int:
-        deg = np.diff(self.indptr)
+        deg = self.degree()
         return int(deg.max()) if deg.size else 0
 
     def median_degree(self) -> float:
-        deg = np.diff(self.indptr)
+        deg = self.degree()
         return float(np.median(deg)) if deg.size else 0.0
 
     def label_of(self, v: int) -> int:

@@ -18,7 +18,13 @@ from .primitives import (
     warp_exclusive_scan,
 )
 from .scheduler import EventScheduler, StepResult
-from .setops import combined_set_op, combined_set_op_lockstep, single_set_op
+from .setops import (
+    combined_set_op,
+    combined_set_op_batch,
+    combined_set_op_lockstep,
+    membership_batch,
+    single_set_op,
+)
 from .warp import Warp, WarpCounters
 
 __all__ = [
@@ -42,6 +48,8 @@ __all__ = [
     "lane_binary_search",
     "compact_offsets",
     "combined_set_op",
+    "combined_set_op_batch",
     "combined_set_op_lockstep",
+    "membership_batch",
     "single_set_op",
 ]

@@ -1,0 +1,131 @@
+"""The fast-path bench experiment, its JSON payload, and the
+regression gate script (docs/PERFORMANCE.md)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import fastpath_bench
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    return fastpath_bench(
+        workloads=[("wiki_vote", "q5"), ("wiki_vote", "q7")],
+        budget=20_000,
+        scale="tiny",
+        census=None,
+    )
+
+
+class TestFastpathBench:
+    def test_payload_shape(self, bench_result):
+        data = bench_result.data
+        assert data["experiment"] == "fastpath"
+        assert len(data["workloads"]) == 2
+        for row in data["workloads"]:
+            assert set(row) >= {
+                "key", "matches", "cycles", "wall_s_reference",
+                "wall_s_fastpath", "speedup", "identical_matches",
+                "identical_cycles",
+            }
+            assert row["identical_matches"] and row["identical_cycles"]
+            assert row["wall_s_fastpath"] > 0
+        assert data["geomean_speedup"] > 0
+
+    def test_rendered_table_mentions_identity(self, bench_result):
+        assert "identical" in bench_result.rendered
+        assert "geomean" in bench_result.rendered
+
+    def test_payload_is_json_serializable(self, bench_result, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bench_result.data))
+        assert json.loads(path.read_text())["workloads"]
+
+
+def _run_script(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True, text=True,
+    )
+
+
+def _bench_file(tmp_path, name, rows, geomean=4.0):
+    payload = {
+        "experiment": "fastpath",
+        "workloads": rows,
+        "geomean_speedup": geomean,
+    }
+    p = tmp_path / name
+    p.write_text(json.dumps(payload))
+    return p
+
+
+def _row(key, fast_s, ref_s=None, identical=True):
+    return {
+        "key": key,
+        "matches": 100,
+        "cycles": 1000.0,
+        "wall_s_reference": ref_s if ref_s is not None else fast_s * 4,
+        "wall_s_fastpath": fast_s,
+        "speedup": 4.0,
+        "identical_matches": identical,
+        "identical_cycles": identical,
+    }
+
+
+class TestRegressionScript:
+    def test_single_file_pass(self, tmp_path):
+        p = _bench_file(tmp_path, "a.json", [_row("d/q1", 1.0)])
+        res = _run_script(p)
+        assert res.returncode == 0, res.stderr
+        assert "ok:" in res.stdout
+
+    def test_single_file_fails_below_min_speedup(self, tmp_path):
+        p = _bench_file(tmp_path, "a.json", [_row("d/q1", 1.0)], geomean=2.0)
+        res = _run_script(p)
+        assert res.returncode == 1
+        assert "floor" in res.stderr
+
+    def test_single_file_fails_on_identity_violation(self, tmp_path):
+        p = _bench_file(tmp_path, "a.json", [_row("d/q1", 1.0, identical=False)])
+        res = _run_script(p)
+        assert res.returncode == 1
+        assert "match count" in res.stderr
+
+    def test_comparison_passes_within_threshold(self, tmp_path):
+        base = _bench_file(tmp_path, "base.json", [_row("d/q1", 1.0)])
+        cur = _bench_file(tmp_path, "cur.json", [_row("d/q1", 1.15)])
+        assert _run_script(base, cur).returncode == 0
+
+    def test_comparison_fails_beyond_threshold(self, tmp_path):
+        base = _bench_file(tmp_path, "base.json", [_row("d/q1", 1.0)])
+        cur = _bench_file(tmp_path, "cur.json", [_row("d/q1", 1.5)])
+        res = _run_script(base, cur)
+        assert res.returncode == 1
+        assert "threshold" in res.stderr
+
+    def test_comparison_fails_on_missing_workload(self, tmp_path):
+        base = _bench_file(tmp_path, "base.json",
+                           [_row("d/q1", 1.0), _row("d/q2", 1.0)])
+        cur = _bench_file(tmp_path, "cur.json", [_row("d/q1", 1.0)])
+        res = _run_script(base, cur)
+        assert res.returncode == 1
+        assert "missing" in res.stderr
+
+    def test_threshold_flag(self, tmp_path):
+        base = _bench_file(tmp_path, "base.json", [_row("d/q1", 1.0)])
+        cur = _bench_file(tmp_path, "cur.json", [_row("d/q1", 1.5)])
+        assert _run_script(base, cur, "--threshold", "0.6").returncode == 0
+
+    def test_bad_input_exits_2(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text("{}")
+        assert _run_script(p).returncode == 2
+        assert _run_script(tmp_path / "absent.json").returncode == 2

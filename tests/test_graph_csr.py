@@ -137,3 +137,59 @@ class TestNetworkxBridge:
         g = CSRGraph.from_networkx(h)
         assert g.num_vertices == 2
         assert g.has_edge(0, 1)
+
+
+class TestBatchedAccessors:
+    def _graph(self):
+        return CSRGraph.from_edges(
+            6, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (4, 5)]
+        )
+
+    def test_neighbors_batch_equals_per_vertex_slices(self):
+        g = self._graph()
+        vs = np.array([3, 0, 4, 0])
+        vals, offs = g.neighbors_batch(vs)
+        assert vals.dtype == g.indices.dtype
+        assert offs.tolist()[0] == 0
+        for i, v in enumerate(vs):
+            seg = vals[offs[i]: offs[i + 1]]
+            assert seg.tolist() == g.neighbors(int(v)).tolist()
+
+    def test_neighbors_batch_empty_batch_and_isolated(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        vals, offs = g.neighbors_batch(np.array([2, 2]))
+        assert vals.size == 0
+        assert offs.tolist() == [0, 0, 0]
+        vals, offs = g.neighbors_batch(np.array([], dtype=np.int64))
+        assert vals.size == 0 and offs.tolist() == [0]
+
+    def test_in_neighbors_batch_directed(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (2, 1)], directed=True)
+        vals, offs = g.in_neighbors_batch(np.array([1, 0]))
+        assert vals[offs[0]: offs[1]].tolist() == [0, 2]
+        assert vals[offs[1]: offs[2]].tolist() == []
+
+    def test_degree_is_cached_and_consistent(self):
+        g = self._graph()
+        deg = g.degree()
+        assert deg is g.degree()  # cached array, not recomputed
+        assert deg.tolist() == [np.asarray(g.neighbors(v)).size for v in range(6)]
+        assert g.degree(0) == 3
+        assert g.degree(np.array([0, 4])).tolist() == [3, 1]
+
+    def test_adjacency_bitmap_rows(self):
+        g = self._graph()
+        rows = g.adjacency_bitmap(3)  # only vertices 0 and 2 have deg >= 3
+        assert sorted(rows) == [0, 2]
+        assert rows[0].tolist() == [False, True, True, True, False, False]
+        assert rows[2].tolist() == [True, True, False, True, False, False]
+
+    def test_adjacency_bitmap_cached_per_threshold(self):
+        g = self._graph()
+        assert g.adjacency_bitmap(3) is g.adjacency_bitmap(3)
+        assert g.adjacency_bitmap(1) is not g.adjacency_bitmap(3)
+        assert len(g.adjacency_bitmap(100)) == 0
+
+    def test_adjacency_bitmap_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            self._graph().adjacency_bitmap(0)

@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 from repro.virtgpu import (
     Warp,
     combined_set_op,
+    combined_set_op_batch,
     combined_set_op_lockstep,
+    membership_batch,
     single_set_op,
 )
 
@@ -135,3 +137,96 @@ class TestCombinedOp:
             None, [np.array([1, 5, 9, 12])], [np.array([1, 9, 12])], [False]
         )[0]
         assert np.array_equal(res, np.unique(res))
+
+
+def _segmented(slot_arrays):
+    """Flatten per-slot arrays into the (values, segments) batch form."""
+    vals = (np.concatenate(slot_arrays) if any(a.size for a in slot_arrays)
+            else np.empty(0, dtype=np.int64))
+    segs = np.repeat(np.arange(len(slot_arrays), dtype=np.int64),
+                     [a.size for a in slot_arrays])
+    return vals, segs
+
+
+class TestMembershipBatch:
+    def test_broadcast_operand(self):
+        vals = np.array([1, 3, 5, 7])
+        assert list(membership_batch(vals, None, np.array([3, 7, 9]))) == [
+            False, True, False, True]
+
+    def test_empty_cases(self):
+        assert membership_batch(np.array([1]), None, np.array([])).tolist() == [False]
+        assert membership_batch(np.array([]), None, np.array([1])).size == 0
+
+    def test_segmented_membership_is_per_segment(self):
+        vals, segs = _segmented([np.array([1, 2]), np.array([1, 2])])
+        opv, opo = np.array([1, 2]), np.array([0, 1, 2])  # seg0={1}, seg1={2}
+        got = membership_batch(vals, segs, opv, opo, stride=10)
+        assert got.tolist() == [True, False, False, True]
+
+    def test_segmented_requires_stride(self):
+        with pytest.raises(ValueError):
+            membership_batch(np.array([1]), None, np.array([1]), np.array([0, 1]))
+
+    def test_segmented_empty_segment_never_matches(self):
+        vals, segs = _segmented([np.array([5]), np.array([5])])
+        opv, opo = np.array([5]), np.array([0, 1, 1])  # seg1 empty
+        got = membership_batch(vals, segs, opv, opo, stride=10)
+        assert got.tolist() == [True, False]
+
+
+class TestCombinedSetOpBatch:
+    @given(sets_strategy, st.booleans())
+    @settings(max_examples=80)
+    def test_matches_per_slot_path(self, spec, difference):
+        inputs = [sorted_unique(a) for a, _, _ in spec]
+        operands = [sorted_unique(b) for _, b, _ in spec]
+        m = len(spec)
+        w_slot = Warp(warp_id=0, block_id=0)
+        expected = combined_set_op(w_slot, inputs, operands, [difference] * m)
+        vals, segs = _segmented(inputs)
+        opv, opo_raw = _segmented(operands)
+        opo = np.concatenate([[0], np.cumsum([b.size for b in operands])])
+        w_batch = Warp(warp_id=1, block_id=0)
+        got_v, got_s = combined_set_op_batch(
+            w_batch, vals, segs, opv, opo, difference=difference, stride=61
+        )
+        exp_v, exp_s = _segmented(expected)
+        assert got_v.tolist() == exp_v.tolist()
+        assert got_s.tolist() == exp_s.tolist()
+        # identical warp charges: the fast path's cycle contract
+        assert w_batch.clock == w_slot.clock
+        assert w_batch.counters.rounds == w_slot.counters.rounds
+        assert w_batch.counters.busy_lanes == w_slot.counters.busy_lanes
+
+    def test_broadcast_equals_replicated_operand(self):
+        inputs = [np.array([1, 2, 3]), np.array([2, 4])]
+        operand = np.array([2, 3])
+        vals, segs = _segmented(inputs)
+        w_b = Warp(warp_id=0, block_id=0)
+        got_v, got_s = combined_set_op_batch(w_b, vals, segs, operand)
+        w_s = Warp(warp_id=1, block_id=0)
+        expected = combined_set_op(w_s, inputs, [operand] * 2, [False] * 2)
+        exp_v, exp_s = _segmented(expected)
+        assert got_v.tolist() == exp_v.tolist()
+        assert got_s.tolist() == exp_s.tolist()
+        assert w_b.clock == w_s.clock
+
+    def test_injected_found_mask_controls_result_not_charge(self):
+        """A precomputed mask (the bitmap index) must not change charges."""
+        vals = np.array([1, 2, 3])
+        segs = np.zeros(3, dtype=np.int64)
+        operand = np.array([2])
+        found = np.array([False, True, False])
+        w_a = Warp(warp_id=0, block_id=0)
+        got_v, _ = combined_set_op_batch(w_a, vals, segs, operand, found=found)
+        w_b = Warp(warp_id=1, block_id=0)
+        ref_v, _ = combined_set_op_batch(w_b, vals, segs, operand)
+        assert got_v.tolist() == ref_v.tolist() == [2]
+        assert w_a.clock == w_b.clock
+
+    def test_costless_without_warp(self):
+        got_v, got_s = combined_set_op_batch(
+            None, np.array([1, 2]), np.zeros(2, dtype=np.int64), np.array([2])
+        )
+        assert got_v.tolist() == [2]
