@@ -24,6 +24,7 @@ from .core import (
     STMatchEngine,
     run_multi_gpu,
 )
+from .faults import FaultPlan
 from .graph import CSRGraph, load_dataset
 from .pattern import QueryGraph, build_plan, get_query
 
@@ -36,6 +37,7 @@ __all__ = [
     "RunStatus",
     "MultiGpuResult",
     "run_multi_gpu",
+    "FaultPlan",
     "CSRGraph",
     "QueryGraph",
     "load_dataset",

@@ -69,6 +69,7 @@ RULE_CATALOG: dict[str, str] = {
     "X503": "steal touched a frame deeper than stop_level",
     "X504": "frame invariant violated (iter/uiter/level bounds)",
     "X505": "root-vertex conservation violated",
+    "X506": "match double-counted (or lost) across failure recoveries",
 }
 
 

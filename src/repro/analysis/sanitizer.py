@@ -146,6 +146,36 @@ class StealSanitizer:
             self._record(warp, "chunk",
                          f"roots [{int(arr[0])}..{int(arr[-1])}] ({arr.size})")
 
+    def seed_outstanding(self, frames: "list[Frame]") -> None:
+        """Adopt roots owned by restored checkpoint stacks (resume path).
+
+        A resumed kernel starts with stacks holding roots the *previous*
+        launch's sanitizer saw issued — this sanitizer never saw the
+        ``on_chunk``.  Seeding the unconsumed remainder of every level-0
+        frame (active slot past ``iter``, plus untouched later slots)
+        keeps X505 conservation exact across the checkpoint boundary.
+        """
+        self.checks += 1
+        seeded = 0
+        for f in frames:
+            if f.level != 0:
+                continue
+            segments = [f.cand[f.uiter][f.iter:]]
+            segments += [f.cand[u] for u in range(f.uiter + 1, f.nslots)]
+            for seg in segments:
+                for v in seg:
+                    v = int(v)
+                    self._outstanding[v] += 1
+                    if self._outstanding[v] > 1:
+                        self._fail(
+                            "X505", None, 0,
+                            f"root vertex {v} owned by two restored stacks — "
+                            "the checkpoint captured a duplicated segment",
+                        )
+                    seeded += 1
+        self.roots_issued += seeded
+        self.trace.append(f"[t=-] resume seeded {seeded} outstanding root(s)")
+
     def on_root_batch(self, warp: "Warp", batch: np.ndarray) -> None:
         """A warp consumed ``batch`` root candidates from its level-0 frame."""
         self.checks += 1

@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench fig12 --datasets mico
     python -m repro.bench all --budget 200000
     python -m repro.bench fastpath --json BENCH_fastpath.json
+    python -m repro.bench chaos --seed-sweep 10
 
 For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
 ``wiki_vote/q1 mico/q4``) and ``--json`` writes the A/B payload that
@@ -51,6 +52,13 @@ EXPERIMENTS = {
         budget=a.budget,
         scale=a.scale or "small",
     ),
+    "chaos": lambda a: experiments.chaos_sweep(
+        num_seeds=a.seed_sweep,
+        dataset=(a.datasets or ["wiki_vote"])[0],
+        query=(a.queries or ["q1"])[0],
+        scale=a.scale or "tiny",
+        seed_base=a.seed_base,
+    ),
 }
 
 
@@ -74,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the experiment's raw data dict as JSON "
                         "(e.g. BENCH_fastpath.json for the fastpath A/B)")
+    p.add_argument("--seed-sweep", type=int, default=3, metavar="N",
+                   help="chaos: number of fault-plan seeds to sweep; each "
+                        "seed's recovered run must count exactly the "
+                        "fault-free matches (default: 3)")
+    p.add_argument("--seed-base", type=int, default=0, metavar="S",
+                   help="chaos: first seed of the sweep (default: 0)")
     return p
 
 

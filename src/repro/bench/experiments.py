@@ -39,6 +39,7 @@ __all__ = [
     "fig13_unroll_utilization",
     "codemotion_ablation",
     "fastpath_bench",
+    "chaos_sweep",
 ]
 
 
@@ -456,3 +457,105 @@ def fastpath_bench(
         "geomean_speedup": round(gm, 3),
     }
     return ExperimentResult(experiment="fastpath", rendered=t.render(), data=data)
+
+
+# ---------------------------------------------------------------------------
+# Chaos sweep — fault injection with exact count identity (docs/ROBUSTNESS.md)
+# ---------------------------------------------------------------------------
+
+
+def chaos_sweep(
+    num_seeds: int = 5,
+    dataset: str = "wiki_vote",
+    query: str = "q1",
+    num_devices: int = 3,
+    num_machines: int = 2,
+    gpus_per_machine: int = 1,
+    scale: str = "tiny",
+    budget: int | None = None,
+    seed_base: int = 0,
+) -> ExperimentResult:
+    """Seeded fault-injection sweep asserting exact count identity.
+
+    For every seed: draw a :class:`~repro.faults.FaultPlan`, run the
+    multi-GPU executor and the distributed executor under it, and check
+    the invariant the recovery layer promises — a run that reports a
+    countable status (``ok``/``recovered``) counts *exactly* the
+    fault-free number of matches; anything else must carry a non-empty
+    failure ``detail``.  Raises ``AssertionError`` on the first
+    violation, so ``python -m repro.bench chaos --seed-sweep N`` is a
+    self-checking chaos harness (the tier-1 suite runs a fixed-seed
+    subset of the same check).
+    """
+    from repro.core.distributed import run_distributed
+    from repro.faults import FaultPlan
+
+    w = make_workload(dataset, query, scale=scale, budget=budget)
+    cfg = EngineConfig(checkpoint_interval=2, max_results=budget)
+    engine = STMatchEngine(w.graph, cfg)
+    plan = engine.plan(w.query)
+    baseline = run_multi_gpu(w.graph, plan, num_devices, cfg)
+    assert baseline.countable, f"fault-free baseline failed: {baseline.detail}"
+    dist_baseline = run_distributed(
+        w.graph, plan, num_machines, gpus_per_machine, cfg
+    )
+
+    t = TextTable(
+        title=(f"Chaos sweep — {dataset}/{query} (scale={scale!r}, "
+               f"{num_devices} GPUs, {num_machines} machines, "
+               f"{num_seeds} seeds)"),
+        columns=["seed", "faults", "multi-gpu", "requeued",
+                 "distributed", "identity"],
+    )
+    rows = []
+    for seed in range(seed_base, seed_base + num_seeds):
+        fp = FaultPlan.random(seed, num_devices=num_devices,
+                              num_machines=num_machines)
+        mg = run_multi_gpu(w.graph, plan, num_devices, cfg, fault_plan=fp)
+        di = run_distributed(w.graph, plan, num_machines, gpus_per_machine,
+                             cfg, fault_plan=fp)
+        mg_identity = (mg.matches == baseline.matches) if mg.countable else None
+        di_identity = (di.matches == dist_baseline.matches) if di.countable else None
+        for label, res, ident in (("multi-gpu", mg, mg_identity),
+                                  ("distributed", di, di_identity)):
+            if ident is False:
+                raise AssertionError(
+                    f"seed {seed}: {label} count identity broken — "
+                    f"{res.matches} != fault-free baseline "
+                    f"(status {res.status}; {res.detail})")
+            if ident is None and not res.detail:
+                raise AssertionError(
+                    f"seed {seed}: {label} reported {res.status} "
+                    "with an empty failure detail")
+        identity = "exact" if (mg_identity and di_identity) else (
+            "exact*" if (mg_identity or di_identity) else "failed-loud")
+        t.add_row(seed, len(fp.events), mg.status, mg.num_requeued,
+                  di.status, identity)
+        rows.append({
+            "seed": seed,
+            "num_faults": len(fp.events),
+            "fault_plan": fp.describe(),
+            "multi_gpu_status": mg.status,
+            "multi_gpu_matches": mg.matches,
+            "multi_gpu_requeued": mg.num_requeued,
+            "distributed_status": di.status,
+            "distributed_matches": di.matches,
+            "distributed_requeued": di.num_requeued,
+            "identity": identity,
+        })
+    t.add_note(f"baseline: {baseline.matches} matches (multi-GPU), "
+               f"{dist_baseline.matches} (distributed) — every countable "
+               "faulted run matched it exactly; non-countable runs failed "
+               "loudly with a recovery trail")
+    data = {
+        "experiment": "chaos",
+        "dataset": dataset,
+        "query": query,
+        "scale": scale,
+        "num_devices": num_devices,
+        "num_machines": num_machines,
+        "baseline_matches": baseline.matches,
+        "distributed_baseline_matches": dist_baseline.matches,
+        "seeds": rows,
+    }
+    return ExperimentResult(experiment="chaos", rendered=t.render(), data=data)

@@ -1,11 +1,18 @@
 """STMatch core: the stack-based matching engine and its optimizations."""
 
 from .candidates import CandidateComputer
+from .checkpoint import Checkpointer, KernelSnapshot
 from .config import EngineConfig
 from .counters import RunResult, RunStatus
 from .distributed import DistributedResult, NetworkModel, run_distributed
 from .engine import STMatchEngine
-from .kernel import ChunkIterator, KernelState, WarpTask, run_kernel
+from .kernel import (
+    ChunkIterator,
+    KernelInterrupted,
+    KernelState,
+    WarpTask,
+    run_kernel,
+)
 from .multi_gpu import MultiGpuResult, run_multi_gpu
 from .stack import Frame, StolenWork, WarpStack, divide_and_copy
 from .stealing import GlobalStealBoard, select_local_target
@@ -16,7 +23,10 @@ __all__ = [
     "RunResult",
     "RunStatus",
     "CandidateComputer",
+    "Checkpointer",
     "ChunkIterator",
+    "KernelInterrupted",
+    "KernelSnapshot",
     "KernelState",
     "WarpTask",
     "run_kernel",

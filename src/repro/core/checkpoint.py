@@ -1,0 +1,161 @@
+"""Kernel-stack checkpointing (the recovery half of Sec. IV's design).
+
+STMatch's explicit per-warp stack is what makes a kernel *recoverable*:
+unlike the recursive baselines, whose progress lives in an opaque call
+stack, the entire state of a launch is the ``C``/``Csize``/``iter``/
+``uiter`` arrays plus the global root-counter position — a small,
+serializable object.  A :class:`KernelSnapshot` captures exactly that:
+
+* the chunk iterator (root-counter position, stride, bounds) and the
+  number of chunks served so far;
+* every warp's stack (deep-copied frames), done/running status,
+  simulated clock and profile counters;
+* the global steal board (idle bitmap + deposited-but-uncollected
+  stacks, which are in-flight work that must not be lost);
+* the shared accumulators: ``matches``, steal counts, the stop flag.
+
+Because the simulator is a single-threaded discrete-event loop, any
+point between warp steps is a consistent global cut — no quiescing or
+barrier is needed, which is also true of the real kernel whenever the
+driver snapshots between grid-sync points.
+
+:class:`Checkpointer` takes a snapshot every ``interval`` root chunks
+(the paper's natural unit of work hand-out, Fig. 4).  Snapshots are
+cost-free in simulated cycles: the copy is modeled as an asynchronous
+host-side DMA off the critical path, so a checkpointed fault-free run
+is cycle-identical to an uncheckpointed one (pinned by tests).
+
+``to_bytes``/``from_bytes`` give the wire format used when a resumed
+range moves to a different machine.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.virtgpu.warp import WarpCounters
+
+from .stack import Frame
+from .stealing import PendingWork, StolenWork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import KernelState
+
+__all__ = ["KernelSnapshot", "Checkpointer"]
+
+
+def _clone_pending(pw: PendingWork | None) -> PendingWork | None:
+    if pw is None:
+        return None
+    return PendingWork(
+        work=StolenWork(
+            frames=[f.clone() for f in pw.work.frames],
+            copied_elems=pw.work.copied_elems,
+        ),
+        pusher_clock=pw.pusher_clock,
+        pusher_warp=pw.pusher_warp,
+        pusher_block=pw.pusher_block,
+    )
+
+
+@dataclass
+class KernelSnapshot:
+    """One consistent cut of a running kernel (see module docstring)."""
+
+    # global root counter (Fig. 4) — position + shard geometry
+    chunk_pos: int
+    chunk_total: int
+    chunk_size: int
+    chunk_stride: int
+    chunks_served: int
+    # shared accumulators
+    matches: int
+    num_local_steals: int
+    num_global_steals: int
+    num_lost_steals: int
+    stop_flag: bool
+    # per-warp state: C/Csize/iter/uiter/l as deep-copied frames
+    task_frames: list[list[Frame]]
+    task_done: list[bool]
+    warp_clocks: list[float]
+    warp_counters: list[WarpCounters]
+    # global steal board: is_idle bitmap + in-flight global_stks slots
+    board_idle: list[frozenset[int]]
+    board_slots: list[PendingWork | None]
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.task_frames)
+
+    @property
+    def live_stacks(self) -> int:
+        return sum(1 for frames in self.task_frames if frames)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for shipping across machines (stdlib pickle: the
+        payload is numpy arrays and plain dataclasses only)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KernelSnapshot":
+        snap = pickle.loads(data)
+        if not isinstance(snap, cls):
+            raise TypeError(f"payload is {type(snap).__name__}, not KernelSnapshot")
+        return snap
+
+    # -- capture -----------------------------------------------------------
+
+    @classmethod
+    def capture(cls, state: "KernelState") -> "KernelSnapshot":
+        """Deep-copy ``state`` into a snapshot (see KernelState.snapshot)."""
+        from .kernel import WarpTask  # late: kernel imports this module
+
+        chunks = state.chunks
+        return cls(
+            chunk_pos=chunks.pos,
+            chunk_total=chunks.total,
+            chunk_size=chunks.chunk_size,
+            chunk_stride=chunks.stride,
+            chunks_served=state.chunks_served,
+            matches=state.matches,
+            num_local_steals=state.num_local_steals,
+            num_global_steals=state.num_global_steals,
+            num_lost_steals=state.num_lost_steals,
+            stop_flag=state.stop_flag,
+            task_frames=[[f.clone() for f in t.stack.frames] for t in state.tasks],
+            task_done=[t.status == WarpTask.DONE for t in state.tasks],
+            warp_clocks=[t.warp.clock for t in state.tasks],
+            warp_counters=[replace(t.warp.counters) for t in state.tasks],
+            board_idle=[frozenset(s) for s in state.board.idle],
+            board_slots=[_clone_pending(pw) for pw in state.board.slots],
+        )
+
+
+class Checkpointer:
+    """Periodic snapshot driver: every ``interval`` root chunks."""
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1 root chunks")
+        self.interval = interval
+        self.last: KernelSnapshot | None = None
+        self.num_taken = 0
+        self._last_at = 0
+
+    def maybe_take(self, state: "KernelState") -> None:
+        if state.chunks_served - self._last_at >= self.interval:
+            self.take(state)
+
+    def take(self, state: "KernelState") -> None:
+        self.last = KernelSnapshot.capture(state)
+        self._last_at = state.chunks_served
+        self.num_taken += 1
+
+    def rearm(self, snapshot: KernelSnapshot) -> None:
+        """After a resume: the restored snapshot is the new baseline."""
+        self.last = snapshot
+        self._last_at = snapshot.chunks_served

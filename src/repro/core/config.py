@@ -86,6 +86,12 @@ class EngineConfig:
     #   hot operand membership tests are O(1) lookups on the host.
     #   None disables the index; only the fastpath consults it, and the
     #   simulated binary-search charges are unchanged either way.
+    checkpoint_interval: int | None = None
+    #   stack checkpointing (repro.core.checkpoint): snapshot the whole
+    #   launch (C/Csize/iter/uiter + root counter) every N root chunks.
+    #   Snapshots cost zero simulated cycles (async host-side DMA off
+    #   the critical path), so fault-free runs are cycle-identical with
+    #   or without checkpointing; None disables it.
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -114,6 +120,10 @@ class EngineConfig:
             raise ValueError("max_results must be >= 1 (or None for exhaustive)")
         if self.bitmap_threshold is not None and self.bitmap_threshold < 1:
             raise ValueError("bitmap_threshold must be >= 1 (or None to disable)")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                "checkpoint_interval must be >= 1 root chunks (or None to disable)"
+            )
 
     # -- ablation variants (Fig. 12) --------------------------------------
 

@@ -24,6 +24,37 @@ class RunStatus:
     OOM = "oom"          # '×' in the paper's tables
     BUDGET = "budget"    # exploration budget hit ('−' timeout analog)
     UNSUPPORTED = "unsupported"  # e.g. cuTS on vertex-induced queries
+    # fault-injection outcomes (repro.faults):
+    RECOVERED = "recovered"  # faults occurred, run completed; count is exact
+    TIMEOUT = "timeout"      # kernel hang/watchdog kill, not recovered
+    FAILED = "failed"        # device/machine failure(s), not recovered
+
+    #: statuses whose ``matches`` field is trustworthy for aggregation —
+    #: exact (OK, RECOVERED) or an intentional lower bound (BUDGET).
+    #: TIMEOUT/FAILED/OOM launches may have counted part of their range
+    #: before dying; summing them would double-count after re-execution,
+    #: which is exactly what sanitizer rule X506 forbids.
+    COUNTABLE = frozenset({"ok", "recovered", "budget"})
+
+    #: worst-status-wins ordering for multi-device aggregation
+    _SEVERITY = {
+        "ok": 0,
+        "recovered": 1,
+        "budget": 2,
+        "timeout": 3,
+        "oom": 4,
+        "failed": 5,
+        "unsupported": 6,
+    }
+
+    @classmethod
+    def severity(cls, status: str) -> int:
+        return cls._SEVERITY.get(status, max(cls._SEVERITY.values()))
+
+    @classmethod
+    def worst(cls, statuses: "list[str] | tuple[str, ...]") -> str:
+        """The most severe status of a group (OK when empty)."""
+        return max(statuses, key=cls.severity, default=cls.OK)
 
 
 @dataclass
@@ -49,8 +80,19 @@ class RunResult:
         Device-level metrics (Figs. 12–13).
     num_local_steals / num_global_steals:
         Work-stealing event counts.
+    num_lost_steals:
+        Global push messages dropped by fault injection (the donor
+        re-absorbed the work; counts are unaffected).
     detail:
-        Free-form diagnostic info (e.g. the OOM allocation site).
+        Free-form diagnostic info (e.g. the OOM allocation site, or the
+        recovery trail of a RECOVERED/FAILED run).
+    error:
+        The original exception of a failed run (``None`` on success) —
+        preserved so callers re-raising get the real allocation sizes
+        and fault descriptions, not a reconstructed stand-in.
+    checkpoint:
+        Last :class:`~repro.core.checkpoint.KernelSnapshot` of an
+        interrupted launch (``None`` when absent) — the resume handle.
     """
 
     system: str
@@ -63,11 +105,19 @@ class RunResult:
     thread_utilization: float = 0.0
     num_local_steals: int = 0
     num_global_steals: int = 0
+    num_lost_steals: int = 0
     detail: str = ""
+    error: BaseException | None = None
+    checkpoint: object | None = None  # KernelSnapshot | None (no core import)
 
     @property
     def ok(self) -> bool:
         return self.status == RunStatus.OK
+
+    @property
+    def countable(self) -> bool:
+        """True when ``matches`` may be aggregated (see COUNTABLE)."""
+        return self.status in RunStatus.COUNTABLE
 
     def cell(self, digits: int = 1) -> str:
         """Render as a paper-style table cell."""
@@ -77,6 +127,12 @@ class RunResult:
             return "−"
         if self.status == RunStatus.UNSUPPORTED:
             return "n/a"
+        if self.status == RunStatus.TIMEOUT:
+            return "t/o"
+        if self.status == RunStatus.FAILED:
+            return "fail"
+        if self.status == RunStatus.RECOVERED:
+            return f"{self.sim_ms:.{digits}f}*"
         return f"{self.sim_ms:.{digits}f}"
 
     def speedup_over(self, other: "RunResult") -> float | None:

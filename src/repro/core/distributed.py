@@ -16,6 +16,15 @@ implements that extension on the virtual substrate:
   whole root ranges, because shipping live stacks across machines would
   cost more than recomputing them.
 
+Failure handling (``fault_plan``): machines fail-stop at scheduled
+times; their queued *and* in-flight tasks are orphaned and re-queued
+onto survivors, each pickup paying the steal network cost plus an
+exponential retry backoff (:meth:`NetworkModel.backoff_ms`).  Steal
+messages on the cluster network can be lost (the sender pays latency +
+backoff and retries).  Task matches are committed exactly once, at
+completion on a machine that is still alive — the commit-at-completion
+discipline that keeps recovered counts identical to fault-free runs.
+
 The simulation is deterministic and returns per-machine timelines so
 tests can assert both the load-balancing behaviour and that match
 counts are preserved exactly.
@@ -31,6 +40,7 @@ from repro.pattern.query import QueryGraph
 from repro.virtgpu.device import VirtualDevice
 
 from .config import EngineConfig
+from .counters import RunStatus
 from .engine import STMatchEngine
 
 __all__ = ["NetworkModel", "DistributedResult", "run_distributed"]
@@ -43,10 +53,16 @@ class NetworkModel:
     latency_ms: float = 0.05           # per steal round trip
     bandwidth_gbps: float = 12.5       # task-descriptor + range transfer
     steal_message_bytes: int = 4096    # descriptors are tiny: ranges, not stacks
+    retry_backoff_ms: float = 0.1      # base for exponential retry backoff
 
     def steal_cost_ms(self, num_tasks: int) -> float:
         bits = 8 * self.steal_message_bytes * max(num_tasks, 1)
         return self.latency_ms + bits / (self.bandwidth_gbps * 1e9) * 1e3
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Exponential backoff before the ``attempt``-th retry of a
+        failed pickup/steal (attempt 0 = first retry)."""
+        return self.retry_backoff_ms * (2.0 ** max(attempt, 0))
 
 
 @dataclass
@@ -56,6 +72,10 @@ class MachineState:
     gpu_free_at: list[float] = field(default_factory=list)
     busy_ms: float = 0.0
     steals: int = 0
+    alive: bool = True
+    failed_at_ms: float | None = None
+    # gid -> (task, start_ms, end_ms): assigned but not yet committed
+    inflight: dict[int, tuple[int, float, float]] = field(default_factory=dict)
 
     @property
     def finish_ms(self) -> float:
@@ -64,7 +84,15 @@ class MachineState:
 
 @dataclass
 class DistributedResult:
-    """Outcome of a distributed run."""
+    """Outcome of a distributed run.
+
+    ``matches`` sums exactly the committed tasks; when every task
+    committed the total equals the fault-free count (X506 discipline).
+    ``status`` is ``"ok"`` for a clean run, ``"recovered"`` when
+    failures occurred but every task still committed, ``"failed"``
+    when tasks were lost for good (``detail`` names them); profiling
+    failures (e.g. an OOM config) propagate the worst task status.
+    """
 
     num_machines: int
     gpus_per_machine: int
@@ -73,6 +101,20 @@ class DistributedResult:
     machines: list[MachineState]
     task_costs_ms: list[float]
     num_steals: int
+    status: str = RunStatus.OK
+    task_statuses: list[str] = field(default_factory=list)
+    num_requeued: int = 0
+    num_lost_messages: int = 0
+    num_machine_failures: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == RunStatus.OK
+
+    @property
+    def countable(self) -> bool:
+        return self.status in RunStatus.COUNTABLE
 
     def speedup_over(self, single_ms: float) -> float:
         return single_ms / self.sim_ms if self.sim_ms > 0 else float("inf")
@@ -83,10 +125,15 @@ def _profile_tasks(
     plan: MatchingPlan,
     config: EngineConfig,
     num_tasks: int,
-) -> tuple[list[float], list[int]]:
+) -> tuple[list[float], list[int], list[str]]:
     """Execute each root-range task on a virtual device; return per-task
-    simulated ms (minus the shared launch, charged once per assignment)
-    and match counts."""
+    simulated ms (minus the shared launch, charged once per assignment),
+    match counts and statuses.
+
+    A failed task (OOM, injected fault) reports its real status instead
+    of silently entering the totals as 0 matches — the caller decides
+    whether the aggregate count is still meaningful.
+    """
     engine = STMatchEngine(graph, config)
     from .candidates import CandidateComputer
 
@@ -94,12 +141,14 @@ def _profile_tasks(
     bounds = [round(i * total_roots / num_tasks) for i in range(num_tasks + 1)]
     costs: list[float] = []
     matches: list[int] = []
+    statuses: list[str] = []
     for i in range(num_tasks):
         dev = VirtualDevice(config.device, device_id=i)
         res = engine.run(plan, root_range=(bounds[i], bounds[i + 1]), device=dev)
         costs.append(res.sim_ms)
-        matches.append(res.matches if res.ok else 0)
-    return costs, matches
+        matches.append(res.matches if res.countable else 0)
+        statuses.append(res.status)
+    return costs, matches, statuses
 
 
 def run_distributed(
@@ -111,13 +160,16 @@ def run_distributed(
     network: NetworkModel | None = None,
     tasks_per_gpu: int = 4,
     vertex_induced: bool = False,
+    fault_plan=None,
 ) -> DistributedResult:
     """Run one query on a simulated GPU cluster.
 
     Each machine starts with a contiguous share of the task list (the
     graph is replicated, as in the single-node multi-GPU setup); GPUs
     pull tasks from their machine's queue; idle machines steal across
-    the network.
+    the network.  With a :class:`~repro.faults.FaultPlan`, machines
+    fail-stop at their scheduled times and survivors absorb the
+    orphaned tasks (see module docstring).
     """
     if num_machines < 1 or gpus_per_machine < 1:
         raise ValueError("need at least one machine and one GPU")
@@ -128,7 +180,13 @@ def run_distributed(
         query, vertex_induced=vertex_induced
     )
     num_tasks = max(1, num_machines * gpus_per_machine * tasks_per_gpu)
-    costs, matches = _profile_tasks(graph, plan, config, num_tasks)
+    costs, matches, task_statuses = _profile_tasks(graph, plan, config, num_tasks)
+
+    fail_at: dict[int, float | None] = {
+        mid: (fault_plan.machine_fail_ms(mid) if fault_plan is not None else None)
+        for mid in range(num_machines)
+    }
+    lost_budget = fault_plan.cluster_steal_losses() if fault_plan is not None else 0
 
     # initial static assignment: contiguous task ranges per machine
     machines = []
@@ -143,58 +201,198 @@ def run_distributed(
             )
         )
     num_steals = 0
+    num_lost_messages = 0
+    num_requeued = 0
+    committed: dict[int, int] = {}   # task -> matches (exactly-once)
+    orphans: list[int] = []          # tasks of dead machines, FIFO
+    retries: dict[int, int] = {}     # task -> pickup retries so far
+
+    def commit(task: int) -> None:
+        # exactly-once: a task commits at completion on a live machine;
+        # re-queued copies of an already-committed task cannot exist
+        # because orphaning only happens on loss (X506 discipline)
+        assert task not in committed, f"task {task} committed twice"
+        committed[task] = matches[task]
+
+    def kill(machine: MachineState) -> None:
+        nonlocal num_requeued
+        t_fail = fail_at[machine.machine_id]
+        assert t_fail is not None
+        machine.alive = False
+        machine.failed_at_ms = t_fail
+        for gid, (task, t0, t1) in sorted(machine.inflight.items()):
+            if t1 <= t_fail:
+                machine.busy_ms += t1 - t0
+                commit(task)
+            else:
+                # lost mid-execution: partial progress is discarded,
+                # the task is re-queued whole (stacks are not shipped
+                # across machines — recompute beats network cost)
+                machine.busy_ms += t_fail - t0
+                orphans.append(task)
+                retries[task] = retries.get(task, 0) + 1
+                num_requeued += 1
+        machine.inflight.clear()
+        # queued (never-started) tasks are orphaned as-is
+        orphans.extend(machine.queue)
+        num_requeued += len(machine.queue)
+        machine.queue.clear()
+        for gid in range(len(machine.gpu_free_at)):
+            machine.gpu_free_at[gid] = t_fail
 
     def most_loaded_victim(thief: MachineState) -> MachineState | None:
         best, best_load = None, 0.0
         for m in machines:
-            if m is thief or len(m.queue) < 2:
+            if m is thief or not m.alive or len(m.queue) < 2:
                 continue
             load = sum(costs[t] for t in m.queue)
             if load > best_load:
                 best, best_load = m, load
         return best
 
-    # event loop: repeatedly let the globally earliest-free GPU act
-    while True:
-        mid, gid = min(
-            ((m.machine_id, g) for m in machines for g in range(gpus_per_machine)),
-            key=lambda mg: machines[mg[0]].gpu_free_at[mg[1]],
-        )
+    # event loop: repeatedly let the earliest-free *live* GPU act;
+    # machine deaths are processed before any action at a later time
+    while len(committed) < num_tasks:
+        live = [(m.machine_id, g)
+                for m in machines if m.alive
+                for g in range(gpus_per_machine)]
+        if not live:
+            break  # whole cluster down
+
+        def pick_key(mg: tuple[int, int]) -> tuple:
+            m = machines[mg[0]]
+            # on clock ties, GPUs with actual work (a completion to
+            # commit, a queued task, or orphans to pick up) act before
+            # idle ones — otherwise an idle GPU parked at the horizon
+            # could be re-picked forever ahead of a same-clock worker
+            has_work = mg[1] in m.inflight or bool(m.queue) or bool(orphans)
+            return (m.gpu_free_at[mg[1]], 0 if has_work else 1, mg[0], mg[1])
+
+        mid, gid = min(live, key=pick_key)
         machine = machines[mid]
         now = machine.gpu_free_at[gid]
+        # process every scheduled death up to 'now' first, in time order
+        dying = [m for m in machines
+                 if m.alive and fail_at[m.machine_id] is not None
+                 and fail_at[m.machine_id] <= now]
+        if dying:
+            kill(min(dying, key=lambda m: (fail_at[m.machine_id], m.machine_id)))
+            continue
+        # this GPU's previous assignment (if any) just completed
+        if gid in machine.inflight:
+            task, t0, t1 = machine.inflight.pop(gid)
+            machine.busy_ms += t1 - t0
+            commit(task)
         if not machine.queue:
+            # orphaned work first: the cluster must drain dead machines'
+            # tasks before load-balancing among the living
+            if orphans:
+                task = orphans.pop(0)
+                attempt = retries.get(task, 0)
+                cost = network.steal_cost_ms(1) + network.backoff_ms(attempt)
+                if lost_budget > 0:
+                    lost_budget -= 1
+                    num_lost_messages += 1
+                    retries[task] = attempt + 1
+                    orphans.append(task)  # pickup message lost: retry later
+                    machine.gpu_free_at[gid] = now + cost
+                    continue
+                machine.queue.append(task)
+                machine.steals += 1
+                num_steals += 1
+                machine.gpu_free_at[gid] = now + cost
+                continue
             victim = most_loaded_victim(machine)
             if victim is None:
-                # park this GPU at the latest horizon; stop when all parked
-                remaining = [m for m in machines if m.queue]
+                # nothing stealable now: sleep until the next event that
+                # can change that (a death or another GPU finishing), or
+                # park at the horizon when no such event remains
+                events = [t for t in fail_at.values() if t is not None and t > now]
+                events += [t1 for m in machines if m.alive
+                           for (_, _, t1) in m.inflight.values() if t1 > now]
+                if events:
+                    machine.gpu_free_at[gid] = min(events)
+                    continue
+                remaining = [m for m in machines if m.alive and m.queue]
                 if not remaining:
                     break
-                horizon = max(m.finish_ms for m in machines)
+                horizon = max(m.finish_ms for m in machines if m.alive)
                 machine.gpu_free_at[gid] = max(now, horizon)
                 if all(
                     not m.queue and all(t >= horizon for t in m.gpu_free_at)
-                    for m in machines
+                    for m in machines if m.alive
                 ):
                     break
                 continue
             take = len(victim.queue) // 2
+            cost = network.steal_cost_ms(take)
+            if lost_budget > 0:
+                lost_budget -= 1
+                num_lost_messages += 1
+                # steal request lost in flight: victim keeps its queue,
+                # thief pays latency + backoff and retries
+                machine.gpu_free_at[gid] = now + network.latency_ms \
+                    + network.backoff_ms(num_lost_messages - 1)
+                continue
             stolen, victim.queue[:] = victim.queue[-take:], victim.queue[:-take]
             machine.queue.extend(stolen)
             machine.steals += 1
             num_steals += 1
-            machine.gpu_free_at[gid] = now + network.steal_cost_ms(take)
+            machine.gpu_free_at[gid] = now + cost
             continue
         task = machine.queue.pop(0)
-        machine.gpu_free_at[gid] = now + costs[task]
-        machine.busy_ms += costs[task]
+        end = now + costs[task]
+        machine.inflight[gid] = (task, now, end)
+        machine.gpu_free_at[gid] = end
 
-    sim_ms = max(m.finish_ms for m in machines)
+    # drain: commit work that finished but was never re-polled (the loop
+    # exits as soon as the count is reached or nothing can change)
+    for m in machines:
+        if not m.alive:
+            continue
+        for gid, (task, t0, t1) in sorted(m.inflight.items()):
+            m.busy_ms += t1 - t0
+            commit(task)
+        m.inflight.clear()
+
+    lost_tasks = sorted(set(range(num_tasks)) - set(committed))
+    num_failures = sum(1 for m in machines if not m.alive)
+    profile_worst = RunStatus.worst(task_statuses)
+    detail_parts = []
+    if num_failures:
+        detail_parts.append(
+            f"{num_failures} machine failure(s), {num_requeued} task(s) re-queued")
+    if num_lost_messages:
+        detail_parts.append(f"{num_lost_messages} steal message(s) lost")
+    if profile_worst not in RunStatus.COUNTABLE:
+        bad = [i for i, s in enumerate(task_statuses)
+               if s not in RunStatus.COUNTABLE]
+        detail_parts.append(f"task profiling failed ({profile_worst}) for "
+                            f"tasks {bad[:8]}")
+        status = profile_worst
+    elif lost_tasks:
+        detail_parts.append(f"tasks lost for good: {lost_tasks[:8]}")
+        status = RunStatus.FAILED
+    elif num_failures or num_lost_messages or num_requeued:
+        status = RunStatus.RECOVERED
+    elif profile_worst != RunStatus.OK:
+        status = profile_worst  # e.g. a BUDGET-capped task: lower bound
+    else:
+        status = RunStatus.OK
+
+    sim_ms = max((m.finish_ms for m in machines), default=0.0)
     return DistributedResult(
         num_machines=num_machines,
         gpus_per_machine=gpus_per_machine,
-        matches=sum(matches),
+        matches=sum(committed.values()),
         sim_ms=sim_ms,
         machines=machines,
         task_costs_ms=costs,
         num_steals=num_steals,
+        status=status,
+        task_statuses=task_statuses,
+        num_requeued=num_requeued,
+        num_lost_messages=num_lost_messages,
+        num_machine_failures=num_failures,
+        detail="; ".join(detail_parts),
     )

@@ -25,9 +25,10 @@ from repro.virtgpu.device import VirtualDevice
 from repro.virtgpu.memory import DeviceOOMError
 
 from .candidates import CandidateComputer
+from .checkpoint import KernelSnapshot
 from .config import EngineConfig
 from .counters import RunResult, RunStatus
-from .kernel import run_kernel
+from .kernel import KernelInterrupted, run_kernel
 
 __all__ = ["STMatchEngine"]
 
@@ -84,6 +85,7 @@ class STMatchEngine:
         root_range: tuple[int, int] | None = None,
         root_partition: tuple[int, int] | None = None,
         device: VirtualDevice | None = None,
+        resume_from: KernelSnapshot | None = None,
     ) -> RunResult:
         """Match ``query`` (or a prebuilt plan); returns a RunResult.
 
@@ -92,6 +94,13 @@ class STMatchEngine:
         when no callback is given).  ``root_range`` restricts the root
         vertex range to a contiguous slice; ``root_partition = (owner,
         num_owners)`` shards it round-robin (multi-GPU splitting).
+
+        ``resume_from`` continues a checkpointed launch (see
+        ``EngineConfig.checkpoint_interval``) instead of starting over.
+        A launch killed by an injected fault returns status ``TIMEOUT``
+        or ``FAILED`` with ``matches == 0`` — the dead launch's partial
+        count is never exposed (the recovery layer re-derives it from
+        ``result.checkpoint``, keeping counts dedupe-safe).
         """
         if isinstance(query, MatchingPlan):
             plan = query
@@ -115,7 +124,8 @@ class STMatchEngine:
         try:
             self._allocate_fixed_memory(dev, plan, computer)
         except DeviceOOMError as e:
-            return RunResult(system=self.name, status=RunStatus.OOM, detail=str(e))
+            return RunResult(system=self.name, status=RunStatus.OOM,
+                             detail=str(e), error=e)
 
         if plan.size == 1:
             # degenerate single-vertex query: the roots are the matches
@@ -128,10 +138,26 @@ class STMatchEngine:
                              sim_ms=dev.cost.to_ms(dev.cost.kernel_launch),
                              cycles=dev.cost.kernel_launch)
 
-        state = run_kernel(
-            plan, cfg, computer, dev, root_range=root_range,
-            root_partition=root_partition, on_match=on_match,
-        )
+        try:
+            state = run_kernel(
+                plan, cfg, computer, dev, root_range=root_range,
+                root_partition=root_partition, on_match=on_match,
+                resume_from=resume_from,
+                checkpoint_interval=cfg.checkpoint_interval,
+            )
+        except KernelInterrupted as e:
+            # the launch died mid-flight: report the failure with the
+            # resume handle, but never its partial match count (X506)
+            status = RunStatus.TIMEOUT if e.timed_out else RunStatus.FAILED
+            return RunResult(
+                system=self.name,
+                status=status,
+                sim_ms=dev.makespan_ms(),
+                cycles=dev.makespan_cycles(),
+                detail=str(e),
+                error=e,
+                checkpoint=e.checkpoint,
+            )
         agg = dev.total_counters()
         status = RunStatus.BUDGET if state.stop_flag else RunStatus.OK
         return RunResult(
@@ -145,13 +171,16 @@ class STMatchEngine:
             thread_utilization=dev.thread_utilization(),
             num_local_steals=state.num_local_steals,
             num_global_steals=state.num_global_steals,
+            num_lost_steals=state.num_lost_steals,
         )
 
     def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
-        """Match count only (raises on OOM)."""
+        """Match count only (raises on OOM with the original detail)."""
         res = self.run(query, **kw)
         if res.status == RunStatus.OOM:
-            raise DeviceOOMError("stmatch", 0, 0, 0)
+            if isinstance(res.error, DeviceOOMError):
+                raise res.error  # real allocation sizes, not stand-ins
+            raise DeviceOOMError("stmatch", 0, 0, 0) from res.error
         return res.matches
 
     # -- memory accounting ---------------------------------------------------
@@ -171,6 +200,17 @@ class STMatchEngine:
         c_bytes = (
             plan.num_sets * cfg.unroll * computer.slot_capacity * elem * device.num_warps
         )
+        injector = device.injector
+        if injector is not None and injector.inject_launch_oom():
+            # transient allocator pressure (another tenant's burst): the
+            # C-stack allocation bounces with its real size so retry /
+            # degradation decisions see honest numbers
+            raise DeviceOOMError(
+                f"{device.global_mem.name} [injected transient fault]",
+                c_bytes,
+                device.global_mem.in_use,
+                device.global_mem.capacity,
+            )
         device.global_mem.alloc(c_bytes, tag="stmatch.C")
         # per-block shared memory: Csize + iter/uiter per warp
         per_warp = plan.num_sets * cfg.unroll * elem + plan.size * 2 * elem

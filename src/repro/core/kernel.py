@@ -23,9 +23,10 @@ paper's core contrast with subgraph-centric systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
+from repro.faults.errors import InjectedFault, KernelTimeoutError
 from repro.pattern.plan import MatchingPlan
 from repro.virtgpu.device import VirtualDevice
 from repro.virtgpu.scheduler import EventScheduler, StepResult
@@ -34,11 +35,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (analysis imports core)
     from repro.analysis.sanitizer import StealSanitizer
 
 from .candidates import CandidateComputer
+from .checkpoint import Checkpointer, KernelSnapshot, _clone_pending
 from .config import EngineConfig
-from .stack import Frame, WarpStack, divide_and_copy
+from .stack import Frame, WarpStack, divide_and_copy, reabsorb
 from .stealing import GlobalStealBoard, select_local_target
 
-__all__ = ["ChunkIterator", "KernelState", "WarpTask", "run_kernel"]
+__all__ = [
+    "ChunkIterator",
+    "KernelInterrupted",
+    "KernelState",
+    "WarpTask",
+    "run_kernel",
+]
+
+
+class KernelInterrupted(RuntimeError):
+    """A kernel launch was killed mid-flight by an injected fault.
+
+    Carries the last :class:`~repro.core.checkpoint.KernelSnapshot`
+    (``None`` when the fault struck before the first checkpoint), so
+    the recovery layer can resume instead of restarting.  The partial
+    match count of the dead launch is deliberately *not* exposed — it
+    must never be aggregated (recovery re-derives counts from the
+    checkpoint, which is the dedupe discipline rule X506 asserts).
+    """
+
+    def __init__(self, cause: InjectedFault, checkpoint: KernelSnapshot | None) -> None:
+        self.cause = cause
+        self.checkpoint = checkpoint
+        msg = str(cause)
+        if checkpoint is not None:
+            msg += (f"; last checkpoint at {checkpoint.chunks_served} root "
+                    f"chunk(s), {checkpoint.matches} match(es) committed")
+        else:
+            msg += "; no checkpoint available (full restart required)"
+        super().__init__(msg)
+
+    @property
+    def timed_out(self) -> bool:
+        return isinstance(self.cause, KernelTimeoutError)
 
 MatchCallback = Callable[[tuple[int, ...]], None]
 
@@ -94,14 +129,58 @@ class KernelState:
     matches: int = 0
     num_local_steals: int = 0
     num_global_steals: int = 0
+    num_lost_steals: int = 0   # global pushes dropped by fault injection
+    chunks_served: int = 0     # root chunks handed out (checkpoint clock)
     stop_flag: bool = False
     active_count: int = 0  # warps currently holding a nonempty stack
     tasks: list["WarpTask"] = field(default_factory=list)
     sanitizer: "StealSanitizer | None" = None
+    checkpointer: Checkpointer | None = None
 
     def block_tasks(self, block_id: int) -> list["WarpTask"]:
         wpb = self.config.device.warps_per_block
         return self.tasks[block_id * wpb : (block_id + 1) * wpb]
+
+    # -- checkpoint / resume ----------------------------------------------
+
+    def snapshot(self) -> KernelSnapshot:
+        """Serialize the whole launch state (C/Csize/iter/uiter/l per
+        warp, root-counter position, steal board, accumulators) into a
+        consistent, restorable cut."""
+        return KernelSnapshot.capture(self)
+
+    def restore(self, snap: KernelSnapshot) -> None:
+        """Load ``snap`` into this (freshly built) kernel state.
+
+        The target device must have the same warp count as the one the
+        snapshot was taken on — the paper's multi-GPU setting runs
+        identical replicas (Sec. VIII-B), so a lost device's range
+        resumes bit-exactly on any survivor.  Frames are re-cloned so
+        one snapshot can seed several retry attempts.
+        """
+        if snap.num_warps != len(self.tasks):
+            raise ValueError(
+                f"snapshot holds {snap.num_warps} warp stacks but the device "
+                f"runs {len(self.tasks)} warps — resume needs an identically "
+                "shaped replica")
+        self.chunks.total = snap.chunk_total
+        self.chunks.chunk_size = snap.chunk_size
+        self.chunks.stride = snap.chunk_stride
+        self.chunks.pos = snap.chunk_pos
+        self.chunks_served = snap.chunks_served
+        self.matches = snap.matches
+        self.num_local_steals = snap.num_local_steals
+        self.num_global_steals = snap.num_global_steals
+        self.num_lost_steals = snap.num_lost_steals
+        self.stop_flag = snap.stop_flag
+        for i, task in enumerate(self.tasks):
+            task.stack.frames = [f.clone() for f in snap.task_frames[i]]
+            task.status = WarpTask.DONE if snap.task_done[i] else WarpTask.RUNNING
+            task.warp.clock = snap.warp_clocks[i]
+            task.warp.counters = replace(snap.warp_counters[i])
+        self.board.idle = [set(s) for s in snap.board_idle]
+        self.board.slots = [_clone_pending(pw) for pw in snap.board_slots]
+        self.active_count = sum(1 for t in self.tasks if t.stack.depth > 0)
 
     def add_matches(self, n: int) -> None:
         self.matches += n
@@ -177,6 +256,7 @@ class WarpTask:
         warp = self.warp
         chunk = st.chunks.next_chunk()
         if chunk is not None:
+            st.chunks_served += 1
             warp.charge(warp.cost.atomic_op)
             arr = st.computer.root_candidates[chunk[0]: chunk[1]]
             if arr.size:
@@ -184,6 +264,11 @@ class WarpTask:
                 if st.sanitizer is not None:
                     st.sanitizer.on_chunk(warp, arr)
                 self._gain_work(st.computer.root_frame(arr))
+            if st.checkpointer is not None:
+                # the chunk is on this warp's stack now, so the cut is
+                # consistent: every issued root is either consumed or
+                # owned by exactly one serialized stack
+                st.checkpointer.maybe_take(st)
             return StepResult.RUNNING
         # no steal levels enabled: the warp retires with the counter
         if not (cfg.local_steal or cfg.global_steal):
@@ -259,15 +344,21 @@ class WarpTask:
         work = divide_and_copy(self.stack, cfg.stop_level)
         if work.empty:
             return
+        warp.charge(warp.cost.steal_cycles(work.copied_elems, local=False))
+        if not st.board.deposit(block, work, warp.clock, warp.warp_id,
+                                pusher_block=warp.block_id):
+            # the push message was lost (fault injection): the divided
+            # tail returns to the donor so no candidate — and no root
+            # subtree — is orphaned; only the copy cycles are wasted
+            reabsorb(self.stack, work)
+            st.num_lost_steals += 1
+            return
         if san is not None:
             assert snap is not None
             san.on_steal("global", donor_warp=warp, donor_stack=self.stack,
                          snapshot=snap, work=work)
-        warp.charge(warp.cost.steal_cycles(work.copied_elems, local=False))
         warp.counters.steals_initiated += 1
         st.num_global_steals += 1
-        st.board.deposit(block, work, warp.clock, warp.warp_id,
-                         pusher_block=warp.block_id)
 
     # -- the loop body -----------------------------------------------------
 
@@ -355,6 +446,8 @@ def run_kernel(
     root_range: tuple[int, int] | None = None,
     root_partition: tuple[int, int] | None = None,
     on_match: MatchCallback | None = None,
+    resume_from: KernelSnapshot | None = None,
+    checkpoint_interval: int | None = None,
 ) -> KernelState:
     """Launch the kernel: one warp task per device warp, one launch total.
 
@@ -362,6 +455,14 @@ def run_kernel(
     slice of the root candidates; ``root_partition = (owner,
     num_owners)`` shards it round-robin instead (the multi-GPU split of
     Fig. 11).  The two are mutually exclusive.
+
+    ``checkpoint_interval`` (root chunks) arms periodic stack
+    checkpointing; ``resume_from`` continues a checkpointed launch on
+    this (identically shaped) device instead of starting fresh — warp
+    clocks and counters are restored, so a resumed fault-free replay is
+    cycle-identical to the uninterrupted run.  If the device carries a
+    :class:`~repro.faults.FaultInjector`, scheduled faults abort the
+    launch with :class:`KernelInterrupted` carrying the last snapshot.
     """
     if root_range is not None and root_partition is not None:
         raise ValueError("root_range and root_partition are mutually exclusive")
@@ -375,9 +476,11 @@ def run_kernel(
         owner=owner,
         num_owners=num_owners,
     )
+    injector = device.injector
     board = GlobalStealBoard(
         num_blocks=device.num_blocks,
         warps_per_block=config.device.warps_per_block,
+        injector=injector,
     )
     sanitizer = None
     if config.sanitize:
@@ -396,13 +499,36 @@ def run_kernel(
         sanitizer=sanitizer,
     )
     state.tasks = [WarpTask(w, state) for w in device.warps]
-    # one kernel launch: charge every warp the launch latency
-    for w in device.warps:
-        w.charge(w.cost.kernel_launch, busy=False)
+    if checkpoint_interval is not None:
+        state.checkpointer = Checkpointer(checkpoint_interval)
+    if resume_from is not None:
+        state.restore(resume_from)
+        if state.checkpointer is not None:
+            state.checkpointer.rearm(resume_from)
+        if sanitizer is not None:
+            # the snapshot's stacks own roots issued before the cut;
+            # seed conservation tracking so X505 stays sound on resume
+            frames = [f for t in state.tasks for f in t.stack.frames]
+            frames += [f for pw in state.board.slots if pw is not None
+                       for f in pw.work.frames]
+            sanitizer.seed_outstanding(frames)
+    else:
+        # one kernel launch: charge every warp the launch latency (a
+        # resume restores clocks that already include it)
+        for w in device.warps:
+            w.charge(w.cost.kernel_launch, busy=False)
+    runnable = [t for t in state.tasks if t.runnable]
     sched: EventScheduler[WarpTask] = EventScheduler(
-        state.tasks, clock_of=lambda t: t.clock, step=lambda t: t.step()
+        runnable,
+        clock_of=lambda t: t.clock,
+        step=lambda t: t.step(),
+        watchdog=device.check_faults if injector is not None else None,
     )
-    sched.run()
+    try:
+        sched.run()
+    except InjectedFault as e:
+        ckpt = state.checkpointer.last if state.checkpointer is not None else None
+        raise KernelInterrupted(e, checkpoint=ckpt) from e
     if sanitizer is not None:
         sanitizer.finalize(state)
     # kernel retired: warps that were spinning idle at the end accrue

@@ -1,4 +1,4 @@
-"""Multi-GPU execution (Sec. VIII-B, Fig. 11).
+"""Multi-GPU execution (Sec. VIII-B, Fig. 11), failure-aware.
 
 The paper runs STMatch on multiple GPUs "by duplicating the input graph
 and dividing the outermost loop iterations across GPUs"; each device
@@ -10,11 +10,19 @@ The root counter is sharded round-robin by chunk (device ``d`` serves
 every ``n``-th chunk), but because the split is static (no cross-device
 stealing) scaling is still sub-linear when individual root subtrees
 dominate — exactly the effect Fig. 11 shows.
+
+Failure handling (``fault_plan``): each shard runs through the recovery
+ladder of :mod:`repro.faults.recovery` on its own device; shards whose
+device stays broken past the retry budget are *re-queued* onto the
+surviving devices (graph replication makes any survivor a valid host).
+A shared :class:`~repro.faults.recovery.RecoveryLedger` enforces X506 —
+every shard's matches are committed exactly once, so a recovered run
+reports exactly the fault-free count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.graph.csr import CSRGraph
 from repro.pattern.plan import MatchingPlan
@@ -30,20 +38,63 @@ __all__ = ["MultiGpuResult", "run_multi_gpu"]
 
 @dataclass
 class MultiGpuResult:
-    """Aggregate of one multi-device run."""
+    """Aggregate of one multi-device run.
+
+    ``per_device`` holds one result per *shard* (round-robin partition
+    index), whatever device finally hosted it.  ``matches`` sums every
+    shard whose count is trustworthy (``RunStatus.COUNTABLE``) — a
+    BUDGET shard's lower bound is included rather than silently
+    dropped, and ``status`` says how much to trust the total:
+    ``"ok"`` exact, ``"recovered"`` exact despite failures,
+    ``"budget"`` a lower bound, anything else incomplete (``detail``
+    names the shards that never completed).
+    """
 
     num_devices: int
     per_device: list[RunResult]
     matches: int
     sim_ms: float  # makespan across devices
+    status: str = RunStatus.OK
+    num_requeued: int = 0
+    detail: str = ""
 
     @property
     def ok(self) -> bool:
-        return all(r.ok for r in self.per_device)
+        """Fault-free and exact — every shard finished OK."""
+        return self.status == RunStatus.OK
+
+    @property
+    def countable(self) -> bool:
+        """``matches`` is meaningful (exact or an intended lower bound)."""
+        return self.status in RunStatus.COUNTABLE
 
     def speedup_over(self, single: "MultiGpuResult | RunResult") -> float:
         base = single.sim_ms
         return base / self.sim_ms if self.sim_ms > 0 else float("inf")
+
+
+def _aggregate(
+    num_devices: int,
+    results: list[RunResult],
+    timelines: list[float],
+    num_requeued: int = 0,
+) -> MultiGpuResult:
+    matches = sum(r.matches for r in results if r.countable)
+    status = RunStatus.worst([r.status for r in results])
+    bad = [f"shard {i}: {r.status} ({r.detail})"
+           for i, r in enumerate(results) if not r.countable]
+    recovered = [f"shard {i}: {r.detail}"
+                 for i, r in enumerate(results)
+                 if r.countable and r.status == RunStatus.RECOVERED]
+    return MultiGpuResult(
+        num_devices=num_devices,
+        per_device=results,
+        matches=matches,
+        sim_ms=max(timelines, default=0.0),
+        status=status,
+        num_requeued=num_requeued,
+        detail="; ".join(bad + recovered),
+    )
 
 
 def run_multi_gpu(
@@ -53,6 +104,8 @@ def run_multi_gpu(
     config: EngineConfig | None = None,
     vertex_induced: bool = False,
     symmetry_breaking: bool = True,
+    fault_plan=None,
+    max_retries: int = 3,
 ) -> MultiGpuResult:
     """Run one query across ``num_devices`` virtual GPUs.
 
@@ -60,6 +113,14 @@ def run_multi_gpu(
     holds a full copy of the graph (the paper's duplication strategy)
     and runs an independent kernel.  Total matches = sum over devices;
     time = max over devices.
+
+    With a :class:`~repro.faults.FaultPlan`, each shard runs through
+    the recovery ladder on its device; shards that stay broken are
+    re-queued round-robin onto devices that completed their own shard
+    (their extra work serializes after their own, which the makespan
+    reflects).  Counts stay exactly equal to the fault-free run, or the
+    result carries a non-countable ``status`` and a non-empty
+    ``detail``.
     """
     if num_devices < 1:
         raise ValueError("need at least one device")
@@ -71,18 +132,58 @@ def run_multi_gpu(
         plan = engine.plan(
             query, vertex_induced=vertex_induced, symmetry_breaking=symmetry_breaking
         )
+
+    if fault_plan is None or fault_plan.empty:
+        results = []
+        for d in range(num_devices):
+            dev = VirtualDevice(config.device, device_id=d)
+            results.append(engine.run(plan, root_partition=(d, num_devices),
+                                      device=dev))
+        return _aggregate(num_devices, results, [r.sim_ms for r in results])
+
+    # failure-aware path: recovery ladder per shard, then re-queue
+    from repro.faults.recovery import RecoveryLedger, run_with_recovery
+
+    ledger = RecoveryLedger()
     results: list[RunResult] = []
-    matches = 0
+    timelines = [0.0] * num_devices
     for d in range(num_devices):
-        dev = VirtualDevice(config.device, device_id=d)
-        res = engine.run(plan, root_partition=(d, num_devices), device=dev)
+        res = run_with_recovery(
+            graph, plan, config,
+            fault_plan=fault_plan,
+            device_id=d,
+            root_partition=(d, num_devices),
+            max_retries=max_retries,
+            ledger=ledger,
+            range_key=(d, num_devices),
+        )
         results.append(res)
-        if res.status == RunStatus.OK:
-            matches += res.matches
-    sim_ms = max((r.sim_ms for r in results), default=0.0)
-    return MultiGpuResult(
-        num_devices=num_devices,
-        per_device=results,
-        matches=matches,
-        sim_ms=sim_ms,
-    )
+        timelines[d] += res.sim_ms
+
+    survivors = [d for d in range(num_devices) if results[d].countable]
+    lost = [d for d in range(num_devices) if not results[d].countable]
+    num_requeued = 0
+    if survivors:
+        for i, d in enumerate(lost):
+            host = survivors[i % len(survivors)]
+            res = run_with_recovery(
+                graph, plan, config,
+                fault_plan=fault_plan,
+                device_id=host,
+                root_partition=(d, num_devices),
+                max_retries=max_retries,
+                ledger=ledger,
+                range_key=(d, num_devices),
+                # the host already consumed its own attempts; never
+                # re-fire its attempt-0 schedule on the re-queued range
+                attempt_offset=max_retries + 1,
+            )
+            num_requeued += 1
+            timelines[host] += res.sim_ms
+            if res.countable:
+                detail = f"re-queued onto device {host}"
+                if res.detail:
+                    detail += f" ({res.detail})"
+                res = replace(res, status=RunStatus.RECOVERED, detail=detail)
+            results[d] = res
+    return _aggregate(num_devices, results, timelines, num_requeued)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Frame", "WarpStack", "StolenWork", "divide_and_copy"]
+__all__ = ["Frame", "WarpStack", "StolenWork", "divide_and_copy", "reabsorb"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -89,6 +89,20 @@ class Frame:
         for arrs in self.sets.values():
             n += sum(a.size for a in arrs)
         return n
+
+    def clone(self) -> "Frame":
+        """Deep copy — the checkpoint serialization unit.
+
+        Copies every candidate and set array so a snapshot stays valid
+        while the live kernel keeps mutating the originals."""
+        return Frame(
+            level=self.level,
+            slot_vertices=self.slot_vertices.copy(),
+            cand=[c.copy() for c in self.cand],
+            sets={sid: [a.copy() for a in arrs] for sid, arrs in self.sets.items()},
+            uiter=self.uiter,
+            iter=self.iter,
+        )
 
 
 @dataclass
@@ -217,3 +231,19 @@ def divide_and_copy(stack: WarpStack, stop_level: int) -> StolenWork:
     if not any_split:
         return StolenWork(frames=[], copied_elems=0)
     return StolenWork(frames=stolen, copied_elems=copied)
+
+
+def reabsorb(stack: WarpStack, work: StolenWork) -> None:
+    """Undo a :func:`divide_and_copy` whose hand-off never happened.
+
+    When a global-steal push message is lost (fault injection), the
+    divided tail must return to the donor or its candidates — and their
+    whole subtrees — would silently vanish.  ``divide_and_copy`` gives
+    the thief the *tail* of each active slot, so re-appending the
+    thief's segment restores the donor's arrays byte-for-byte.
+    """
+    for i, sf in enumerate(work.frames):
+        f = stack.frames[i]
+        seg = sf.cand[sf.uiter]
+        if seg.size:
+            f.cand[f.uiter] = np.concatenate([f.cand[f.uiter], seg])

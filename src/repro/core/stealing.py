@@ -73,12 +73,19 @@ class GlobalStealBoard:
 
     One bitmap entry and one stack slot per threadblock, both living in
     (simulated) global memory.
+
+    ``injector`` is the fault-injection hook (:mod:`repro.faults`): a
+    scheduled steal-message loss makes :meth:`deposit` return ``False``
+    without storing the stack — the push message vanished in flight, so
+    the caller must re-absorb the divided work into the donor.
     """
 
     num_blocks: int
     warps_per_block: int
     idle: list[set[int]] = field(default_factory=list)
     slots: list[PendingWork | None] = field(default_factory=list)
+    injector: object | None = None  # FaultInjector | None
+    num_lost_messages: int = 0
 
     def __post_init__(self) -> None:
         if not self.idle:
@@ -115,15 +122,24 @@ class GlobalStealBoard:
         pusher_clock: float,
         pusher_warp: int,
         pusher_block: int = -1,
-    ) -> None:
+    ) -> bool:
+        """Push ``work`` into ``global_stks[block_id]``.
+
+        Returns ``False`` when fault injection dropped the message (the
+        slot stays empty and the caller keeps the work); ``True`` when
+        the deposit landed."""
         if self.slots[block_id] is not None:
             raise ValueError(f"global_stks[{block_id}] already occupied")
+        if self.injector is not None and self.injector.drop_steal_message():
+            self.num_lost_messages += 1
+            return False
         self.slots[block_id] = PendingWork(
             work=work,
             pusher_clock=pusher_clock,
             pusher_warp=pusher_warp,
             pusher_block=pusher_block,
         )
+        return True
 
     def take(self, block_id: int) -> PendingWork | None:
         """A woken warp collects its block's deposited stack."""

@@ -1,0 +1,33 @@
+"""Fault injection and recovery for the virtual execution stack.
+
+The package has two halves:
+
+* :mod:`repro.faults.plan` / :mod:`repro.faults.injector` — the
+  *injection* side: seeded, deterministic failure schedules
+  (:class:`FaultPlan`) and the runtime trigger (:class:`FaultInjector`)
+  the virtual GPU consults.  These sit below :mod:`repro.core` in the
+  import graph so the kernel can catch their exceptions.
+* :mod:`repro.faults.recovery` — the *recovery* side: the retry /
+  degrade / resume ladder (:func:`run_with_recovery`) and the
+  :class:`RecoveryLedger` (sanitizer rule X506) that asserts no root
+  range is ever committed twice across re-executions.  It imports
+  :mod:`repro.core`, so import it explicitly (the multi-GPU and
+  distributed executors do).
+
+See ``docs/ROBUSTNESS.md`` for the fault model and the recovery
+invariants.
+"""
+
+from .errors import DeviceFailError, InjectedFault, KernelTimeoutError
+from .injector import FaultInjector
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultKind",
+    "FaultInjector",
+    "InjectedFault",
+    "DeviceFailError",
+    "KernelTimeoutError",
+]

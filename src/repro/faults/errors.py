@@ -1,0 +1,52 @@
+"""Fault-injection exceptions.
+
+These are raised *inside* the virtual GPU while a kernel is running —
+the discrete-event scheduler's watchdog hook calls the attached
+:class:`~repro.faults.injector.FaultInjector`, which raises one of
+these when the device clock crosses a scheduled fault.  The kernel
+driver (:mod:`repro.core.kernel`) catches them and re-raises a
+:class:`~repro.core.kernel.KernelInterrupted` carrying the last stack
+checkpoint, so the recovery layer can resume instead of restarting.
+
+This module is dependency-free on purpose: ``repro.core`` imports it,
+and the rest of :mod:`repro.faults` imports ``repro.core`` types, so
+the exceptions must sit at the bottom of the import graph.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InjectedFault", "DeviceFailError", "KernelTimeoutError"]
+
+
+class InjectedFault(RuntimeError):
+    """Base class for faults fired by a :class:`FaultInjector`."""
+
+    kind = "fault"
+
+    def __init__(self, device_id: int, at_cycle: float, attempt: int = 0) -> None:
+        self.device_id = device_id
+        self.at_cycle = at_cycle
+        self.attempt = attempt
+        super().__init__(
+            f"injected {self.kind} on device {device_id} at cycle "
+            f"{at_cycle:.0f} (attempt {attempt})"
+        )
+
+
+class DeviceFailError(InjectedFault):
+    """The device died mid-kernel (fail-stop); its memory is lost.
+
+    The device's ``alive`` flag is cleared before this is raised, so a
+    recovery layer must re-execute the lost root range on a *fresh*
+    device (the graph is replicated, Sec. VIII-B)."""
+
+    kind = "device failure"
+
+
+class KernelTimeoutError(InjectedFault):
+    """The watchdog killed a hung/overlong kernel.
+
+    The device itself survives — only the launch is lost — so the same
+    device id may be relaunched, resuming from the last checkpoint."""
+
+    kind = "kernel timeout"

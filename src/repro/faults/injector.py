@@ -1,0 +1,102 @@
+"""The runtime fault injector.
+
+One :class:`FaultInjector` is bound to one (device, attempt) execution:
+the recovery layer asks the :class:`~repro.faults.plan.FaultPlan` for a
+fresh injector before every launch, attaches it to the
+:class:`~repro.virtgpu.device.VirtualDevice`, and the virtual GPU
+consults it at three hook points:
+
+* the discrete-event scheduler's watchdog calls :meth:`on_clock` with
+  the simulated clock before every warp step — fail-stop and timeout
+  events fire when the clock crosses their trigger cycle;
+* the engine calls :meth:`inject_launch_oom` before charging the fixed
+  STMatch footprint — a transient OOM makes the launch fail exactly
+  once for this attempt;
+* the global steal board calls :meth:`drop_steal_message` on every
+  deposit — a scheduled loss makes the push message vanish (the donor
+  re-absorbs the divided stack, so no work is lost, only the balancing
+  opportunity and the copy cycles).
+
+Each event fires at most once and is recorded in :attr:`fired`, so
+tests can assert both *that* and *when* the schedule struck.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import DeviceFailError, KernelTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.virtgpu.device import VirtualDevice
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic per-(device, attempt) fault trigger."""
+
+    def __init__(
+        self,
+        device_id: int,
+        attempt: int = 0,
+        fail_at: float | None = None,
+        timeout_at: float | None = None,
+        oom: bool = False,
+        steal_losses: int = 0,
+    ) -> None:
+        self.device_id = device_id
+        self.attempt = attempt
+        self.fail_at = fail_at
+        self.timeout_at = timeout_at
+        self.oom = oom
+        self.steal_losses = steal_losses
+        self.fired: list[str] = []
+
+    @property
+    def armed(self) -> bool:
+        """Any event still waiting to fire."""
+        return (self.fail_at is not None or self.timeout_at is not None
+                or self.oom or self.steal_losses > 0)
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_clock(self, device: "VirtualDevice", clock: float) -> None:
+        """Watchdog hook: fire clock-triggered faults, once each.
+
+        A fail-stop clears the device's ``alive`` flag before raising —
+        the device's memory contents are gone, only a checkpoint (or a
+        full re-execution on a survivor) can recover the range.
+        """
+        if self.fail_at is not None and clock >= self.fail_at:
+            at = self.fail_at
+            self.fail_at = None
+            self.fired.append(f"device_fail@{at:.0f}")
+            device.alive = False
+            raise DeviceFailError(self.device_id, at, self.attempt)
+        if self.timeout_at is not None and clock >= self.timeout_at:
+            at = self.timeout_at
+            self.timeout_at = None
+            self.fired.append(f"kernel_timeout@{at:.0f}")
+            raise KernelTimeoutError(self.device_id, at, self.attempt)
+
+    def inject_launch_oom(self) -> bool:
+        """Engine hook: True exactly once when a transient OOM is due."""
+        if not self.oom:
+            return False
+        self.oom = False
+        self.fired.append("transient_oom")
+        return True
+
+    def drop_steal_message(self) -> bool:
+        """Steal-board hook: True while scheduled losses remain."""
+        if self.steal_losses <= 0:
+            return False
+        self.steal_losses -= 1
+        self.fired.append("steal_loss")
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FaultInjector(device={self.device_id}, attempt={self.attempt}, "
+                f"fail_at={self.fail_at}, timeout_at={self.timeout_at}, "
+                f"oom={self.oom}, steal_losses={self.steal_losses})")

@@ -1,0 +1,235 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultPlan` is the full failure scenario of one execution: a
+tuple of :class:`FaultEvent` records saying *what* fails, *where*
+(device or machine), *when* (device cycles or cluster milliseconds) and
+on *which attempt* — so a transient fault scheduled for attempt 0
+clears on the retry, while a repeated schedule models a persistently
+bad device.  Plans are plain data: the same plan replayed against the
+same workload produces byte-identical failures, which is what lets the
+chaos sweep assert exact count identity against the fault-free run.
+
+Fault kinds map onto the failure modes of the paper's execution stack:
+
+* ``DEVICE_FAIL`` — fail-stop GPU loss mid-kernel (Fig. 11 setting:
+  the graph is replicated, so a survivor re-executes the root range);
+* ``KERNEL_TIMEOUT`` — a hung or overlong launch killed by a watchdog
+  (the 8-hour-timeout analog of Tables II/III);
+* ``TRANSIENT_OOM`` — an allocation failure that clears on retry
+  (cuTS's restart-on-OOM contrast, PAPERS.md);
+* ``STEAL_LOSS`` — a lost ``global_stks`` push message (Sec. V-B): the
+  deposit never lands and the donor keeps its stack;
+* ``MACHINE_FAIL`` — a whole cluster machine dies (Sec. VIII-B
+  distributed extension); its queued and in-flight tasks are orphaned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .injector import FaultInjector
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind:
+    """String constants naming the injectable failure modes."""
+
+    DEVICE_FAIL = "device_fail"
+    KERNEL_TIMEOUT = "kernel_timeout"
+    TRANSIENT_OOM = "transient_oom"
+    STEAL_LOSS = "steal_loss"
+    MACHINE_FAIL = "machine_fail"
+
+    ALL = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS, MACHINE_FAIL)
+
+    #: kinds scoped to one virtual device / one kernel attempt
+    DEVICE_SCOPED = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`FaultKind`.
+    device:
+        Target virtual device / shard id (device-scoped kinds).
+    machine:
+        Target cluster machine id (``MACHINE_FAIL``; also scopes
+        ``STEAL_LOSS`` to the cluster when ``device`` is ``None``).
+    attempt:
+        Which execution attempt the event strikes (0 = first run); a
+        retry that outlives the schedule runs clean, which is how
+        transient faults recover.
+    at_cycle:
+        Device-clock trigger (``DEVICE_FAIL`` / ``KERNEL_TIMEOUT``).
+    at_ms:
+        Cluster-clock trigger (``MACHINE_FAIL``).
+    count:
+        Multiplicity (``STEAL_LOSS``: number of messages dropped).
+    """
+
+    kind: str
+    device: int | None = None
+    machine: int | None = None
+    attempt: int = 0
+    at_cycle: float | None = None
+    at_ms: float | None = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (FaultKind.DEVICE_FAIL, FaultKind.KERNEL_TIMEOUT):
+            if self.at_cycle is None or self.at_cycle < 0:
+                raise ValueError(f"{self.kind} needs a non-negative at_cycle")
+        if self.kind == FaultKind.MACHINE_FAIL:
+            if self.machine is None or self.at_ms is None or self.at_ms < 0:
+                raise ValueError("machine_fail needs a machine and at_ms >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def describe(self) -> str:
+        where = []
+        if self.device is not None:
+            where.append(f"device {self.device}")
+        if self.machine is not None:
+            where.append(f"machine {self.machine}")
+        when = ""
+        if self.at_cycle is not None:
+            when = f" @cycle {self.at_cycle:.0f}"
+        elif self.at_ms is not None:
+            when = f" @{self.at_ms:.3f}ms"
+        mult = f" x{self.count}" if self.count > 1 else ""
+        return (f"{self.kind}[{', '.join(where) or 'anywhere'}, "
+                f"attempt {self.attempt}]{when}{mult}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of failures for one execution."""
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_devices: int = 1,
+        num_machines: int = 0,
+        horizon_cycles: float = 50_000.0,
+        horizon_ms: float = 2.0,
+        p_device_fail: float = 0.30,
+        p_timeout: float = 0.20,
+        p_transient_oom: float = 0.25,
+        p_steal_loss: float = 0.30,
+        p_machine_fail: float = 0.35,
+        p_repeat_fail: float = 0.15,
+    ) -> "FaultPlan":
+        """Draw a seeded schedule over ``num_devices`` GPUs and
+        ``num_machines`` cluster machines.
+
+        Each device independently gets at most one fail-stop *or*
+        timeout on attempt 0 (possibly repeated once on attempt 1 with
+        ``p_repeat_fail``), an optional transient OOM, and an optional
+        burst of steal-message losses.  At most ``num_machines - 1``
+        machines fail, so a cluster always keeps one survivor; device
+        schedules may still be unrecoverable within a retry budget,
+        which the recovery layer reports as ``FAILED`` rather than
+        papering over.
+        """
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for d in range(num_devices):
+            roll = rng.random()
+            if roll < p_device_fail:
+                events.append(FaultEvent(
+                    FaultKind.DEVICE_FAIL, device=d, attempt=0,
+                    at_cycle=float(rng.uniform(0.05, 1.0) * horizon_cycles)))
+                if rng.random() < p_repeat_fail:
+                    events.append(FaultEvent(
+                        FaultKind.DEVICE_FAIL, device=d, attempt=1,
+                        at_cycle=float(rng.uniform(0.05, 1.0) * horizon_cycles)))
+            elif roll < p_device_fail + p_timeout:
+                events.append(FaultEvent(
+                    FaultKind.KERNEL_TIMEOUT, device=d, attempt=0,
+                    at_cycle=float(rng.uniform(0.05, 1.0) * horizon_cycles)))
+            if rng.random() < p_transient_oom:
+                events.append(FaultEvent(
+                    FaultKind.TRANSIENT_OOM, device=d,
+                    attempt=int(rng.integers(0, 2))))
+            if rng.random() < p_steal_loss:
+                events.append(FaultEvent(
+                    FaultKind.STEAL_LOSS, device=d, attempt=0,
+                    count=int(rng.integers(1, 5))))
+        if num_machines > 1:
+            failed = 0
+            for m in range(num_machines):
+                if failed >= num_machines - 1:
+                    break  # always keep one survivor
+                if rng.random() < p_machine_fail:
+                    events.append(FaultEvent(
+                        FaultKind.MACHINE_FAIL, machine=m,
+                        at_ms=float(rng.uniform(0.05, 1.0) * horizon_ms)))
+                    failed += 1
+            if rng.random() < p_steal_loss:
+                events.append(FaultEvent(
+                    FaultKind.STEAL_LOSS, count=int(rng.integers(1, 4))))
+        return cls(events=tuple(events), seed=seed)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def injector_for(self, device: int, attempt: int = 0) -> FaultInjector:
+        """The runtime injector for one (device, attempt) execution."""
+        fail_at: float | None = None
+        timeout_at: float | None = None
+        oom = False
+        losses = 0
+        for e in self.events:
+            if e.device != device or e.attempt != attempt:
+                continue
+            if e.kind == FaultKind.DEVICE_FAIL:
+                fail_at = e.at_cycle if fail_at is None else min(fail_at, e.at_cycle)
+            elif e.kind == FaultKind.KERNEL_TIMEOUT:
+                timeout_at = (e.at_cycle if timeout_at is None
+                              else min(timeout_at, e.at_cycle))
+            elif e.kind == FaultKind.TRANSIENT_OOM:
+                oom = True
+            elif e.kind == FaultKind.STEAL_LOSS:
+                losses += e.count
+        return FaultInjector(
+            device_id=device, attempt=attempt, fail_at=fail_at,
+            timeout_at=timeout_at, oom=oom, steal_losses=losses,
+        )
+
+    def machine_fail_ms(self, machine: int) -> float | None:
+        """When (sim ms) ``machine`` fail-stops; None if it survives."""
+        times = [e.at_ms for e in self.events
+                 if e.kind == FaultKind.MACHINE_FAIL and e.machine == machine]
+        return min(times) if times else None
+
+    def cluster_steal_losses(self) -> int:
+        """Steal messages dropped on the inter-machine network."""
+        return sum(e.count for e in self.events
+                   if e.kind == FaultKind.STEAL_LOSS and e.device is None)
+
+    def describe(self) -> str:
+        head = f"FaultPlan(seed={self.seed}, {len(self.events)} event(s))"
+        if not self.events:
+            return head + ": fault-free"
+        return head + "\n" + "\n".join(f"  {e.describe()}" for e in self.events)

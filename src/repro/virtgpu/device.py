@@ -82,6 +82,10 @@ class VirtualDevice:
             for b in range(self.config.num_blocks)
             for w in range(self.config.warps_per_block)
         ]
+        # fault-injection surface (repro.faults): healthy devices have no
+        # injector and stay alive forever; a fail-stop clears ``alive``
+        self.alive = True
+        self.injector = None  # FaultInjector | None
 
     # -- structure -------------------------------------------------------
 
@@ -110,6 +114,21 @@ class VirtualDevice:
         self.global_mem.reset()
         for s in self.shared_mem:
             s.reset()
+
+    # -- fault injection ---------------------------------------------------
+
+    def attach_injector(self, injector) -> None:
+        """Arm this device with a :class:`~repro.faults.FaultInjector`.
+
+        The kernel driver wires :meth:`check_faults` into the event
+        scheduler's watchdog; the engine consults the injector for
+        launch-time (OOM) faults."""
+        self.injector = injector
+
+    def check_faults(self, clock: float) -> None:
+        """Watchdog hook: raise if a scheduled fault is due at ``clock``."""
+        if self.injector is not None:
+            self.injector.on_clock(self, clock)
 
     # -- post-run aggregation ----------------------------------------------
 

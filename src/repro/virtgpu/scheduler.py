@@ -49,9 +49,11 @@ class EventScheduler(Generic[T]):
         entities: list[T],
         clock_of: Callable[[T], float],
         step: Callable[[T], StepResult],
+        watchdog: Callable[[float], None] | None = None,
     ) -> None:
         self._clock_of = clock_of
         self._step = step
+        self._watchdog = watchdog
         self._heap: list[tuple[float, int, T]] = []
         self._seq = 0
         self._blocked: set[T] = set()
@@ -91,6 +93,11 @@ class EventScheduler(Generic[T]):
                 # reinsert at its true position
                 self._push(e)
                 continue
+            if self._watchdog is not None:
+                # fault-injection hook: sees the simulated time of the
+                # step about to run and may raise (device failure /
+                # kernel timeout), aborting the whole run mid-flight
+                self._watchdog(clock)
             result = self._step(e)
             steps += 1
             if result is StepResult.RUNNING:

@@ -1,0 +1,96 @@
+"""Chaos sweep: count identity under randomized fault schedules.
+
+A fixed-seed subset runs in tier-1 (fast, deterministic); the wider
+randomized sweep is opt-in via ``-m chaos`` (or the CLI:
+``python -m repro.bench chaos --seed-sweep N``).
+
+The invariant under test is the one the recovery layer promises: a run
+that reports a countable status (``ok``/``recovered``/``budget``)
+counts **exactly** what the fault-free run counts — never one match
+lost to a dead device, never one double-counted by a retry — and a
+non-countable run carries a non-empty failure ``detail``.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.core.counters import RunStatus
+from repro.core.distributed import run_distributed
+from repro.core.multi_gpu import run_multi_gpu
+from repro.faults import FaultPlan
+from repro.graph import powerlaw_cluster
+from repro.pattern import get_query
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(150, m=4, p_triangle=0.6, seed=13)
+
+
+@pytest.fixture(scope="module")
+def fault_free(graph):
+    from repro import EngineConfig, STMatchEngine
+
+    return STMatchEngine(graph, EngineConfig()).run(get_query("q5")).matches
+
+
+class TestFixedSeedSubset:
+    """Deterministic slice of the chaos harness — always in tier-1."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_multigpu_identity(self, graph, fault_free, seed):
+        from repro import EngineConfig
+
+        plan = FaultPlan.random(seed, num_devices=3, num_machines=1)
+        res = run_multi_gpu(graph, get_query("q5"), num_devices=3,
+                            config=EngineConfig(checkpoint_interval=2),
+                            fault_plan=plan)
+        if res.countable:
+            assert res.matches == fault_free
+        else:
+            assert res.detail
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_distributed_identity(self, graph, fault_free, seed):
+        plan = FaultPlan.random(seed, num_devices=2, num_machines=2)
+        base = run_distributed(graph, get_query("q5"), num_machines=2,
+                               gpus_per_machine=2)
+        res = run_distributed(graph, get_query("q5"), num_machines=2,
+                              gpus_per_machine=2, fault_plan=plan)
+        assert base.matches == fault_free
+        if res.countable:
+            assert res.matches == fault_free
+        else:
+            assert res.detail
+
+    def test_bench_harness_fixed_seeds(self):
+        # the CLI harness self-checks (raises AssertionError on any
+        # identity violation); two seeds keep the tier-1 cost small
+        result = experiments.chaos_sweep(num_seeds=2)
+        assert len(result.data["seeds"]) == 2
+        for row in result.data["seeds"]:
+            assert row["identity"] in ("exact", "exact*", "failed-loud")
+            assert RunStatus.severity(row["multi_gpu_status"]) >= 0
+
+
+@pytest.mark.chaos
+class TestWideSweep:
+    """Randomized wide sweep — opt-in: ``pytest -m chaos``."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_multigpu_identity_wide(self, graph, fault_free, seed):
+        from repro import EngineConfig
+
+        plan = FaultPlan.random(100 + seed, num_devices=4, num_machines=1)
+        res = run_multi_gpu(graph, get_query("q5"), num_devices=4,
+                            config=EngineConfig(checkpoint_interval=1),
+                            fault_plan=plan)
+        if res.countable:
+            assert res.matches == fault_free
+        else:
+            assert res.detail
+
+    def test_bench_harness_sweep(self):
+        # raises AssertionError internally on any identity violation
+        result = experiments.chaos_sweep(num_seeds=5, seed_base=100)
+        assert len(result.data["seeds"]) == 5
