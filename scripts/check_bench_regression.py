@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Gate fast-path performance: compare BENCH_fastpath.json files.
 
-Two modes:
+Three modes:
 
 * ``check_bench_regression.py CURRENT.json`` — validate a single bench
   file's invariants: every workload must report byte-identical matches
@@ -13,6 +13,13 @@ Two modes:
   more than ``--threshold`` (default 20%) slower on the fast path, or
   disappeared from the current file.
 
+* ``check_bench_regression.py --profile BENCH_profile.json`` —
+  validate a ``python -m repro.bench profile`` payload against the
+  ``repro.obs`` schema, check the zero-overhead identity flags, and
+  require each query's full-over-baseline speedup to reach
+  ``--min-profile-speedup`` (default 1.0 — optimizations must never
+  make a query slower than the naive rung).
+
 Exit status 0 = pass, 1 = regression/violation, 2 = bad input.
 """
 
@@ -21,6 +28,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
+
+
+def _import_obs():
+    """Import ``repro.obs`` even when the package isn't installed."""
+    try:
+        from repro import obs
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro import obs
+    return obs
 
 
 def load(path: str) -> dict:
@@ -78,6 +96,39 @@ def check_regressions(baseline: dict, current: dict, threshold: float) -> list[s
     return problems
 
 
+def check_profile(path: str, min_speedup: float) -> list[str]:
+    """Validate a ``repro.bench profile`` payload (schema + invariants)."""
+    obs = _import_obs()
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        obs.validate_profile(payload)
+    except ValueError as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    for qname, q in sorted(payload["queries"].items()):
+        fp = q["fastpath"]
+        if not fp.get("identical_matches", False):
+            problems.append(f"{qname}: fastpath changed the match count")
+        if not fp.get("identical_cycles", False):
+            problems.append(f"{qname}: fastpath changed the simulated cycles")
+        speedup = q["speedup_full_vs_baseline"]
+        if speedup < min_speedup:
+            problems.append(
+                f"{qname}: full-config speedup {speedup:.2f}× is below the "
+                f"{min_speedup}× floor (optimizations made it slower)"
+            )
+        for vname, row in q["variants"].items():
+            if row["status"] not in ("ok", "budget"):
+                problems.append(f"{qname}/{vname}: status {row['status']!r}")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="baseline JSON (or the only file to validate)")
@@ -88,7 +139,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-speedup", type=float, default=3.0,
                    help="required geomean speedup in the current file "
                         "(default 3.0; pass 0 to disable)")
+    p.add_argument("--profile", action="store_true",
+                   help="treat the file as a BENCH_profile.json payload and "
+                        "validate it against the repro.obs schema")
+    p.add_argument("--min-profile-speedup", type=float, default=1.0,
+                   help="profile mode: required full-over-baseline speedup "
+                        "per query (default 1.0)")
     args = p.parse_args(argv)
+
+    if args.profile:
+        if args.current is not None:
+            p.error("--profile takes a single file")
+        problems = check_profile(args.baseline, args.min_profile_speedup)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            nq = len(json.load(fh)["queries"])
+        print(f"ok: profile payload valid, {nq} queries, identity and "
+              f"speedup invariants hold")
+        return 0
 
     min_speedup = args.min_speedup if args.min_speedup > 0 else None
     if args.current is None:

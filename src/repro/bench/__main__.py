@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench fig12 --datasets mico
     python -m repro.bench all --budget 200000
     python -m repro.bench fastpath --json BENCH_fastpath.json
+    python -m repro.bench profile --json BENCH_profile.json
     python -m repro.bench chaos --seed-sweep 10
 
 For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
@@ -51,6 +52,12 @@ EXPERIMENTS = {
         if a.datasets else None,
         budget=a.budget,
         scale=a.scale or "small",
+    ),
+    "profile": lambda a: experiments.profile_breakdown(
+        dataset=(a.datasets or ["wiki_vote"])[0],
+        queries=a.queries,
+        scale=a.scale or "tiny",
+        budget=a.budget,
     ),
     "chaos": lambda a: experiments.chaos_sweep(
         num_seeds=a.seed_sweep,

@@ -40,6 +40,7 @@ __all__ = [
     "codemotion_ablation",
     "fastpath_bench",
     "chaos_sweep",
+    "profile_breakdown",
 ]
 
 
@@ -457,6 +458,138 @@ def fastpath_bench(
         "geomean_speedup": round(gm, 3),
     }
     return ExperimentResult(experiment="fastpath", rendered=t.render(), data=data)
+
+
+# ---------------------------------------------------------------------------
+# Profile — per-optimization breakdown from the observability layer
+# ---------------------------------------------------------------------------
+
+
+def profile_breakdown(
+    dataset: str = "wiki_vote",
+    queries: list[str] | None = None,
+    scale: str = "tiny",
+    budget: int | None = DEFAULT_BUDGET,
+) -> ExperimentResult:
+    """Fig. 12-style per-optimization breakdown from ``repro.obs``.
+
+    For every query, runs the optimization ladder — ``baseline`` (naive,
+    no code motion), ``+codemotion``, ``+steal`` (local+global),
+    ``+unroll`` (the full engine) — recording simulated cycles per rung,
+    then A/Bs the fastpath backend on the full engine for host
+    wall-clock (asserting byte-identical matches and cycles, the
+    cost-model-preservation contract).  The full-engine run is observed:
+    its report supplies per-warp steal/lane-utilization stats, per-level
+    candidate metrics and unroll batch fill.  The ``data`` dict is the
+    schema-validated BENCH_profile.json payload.
+    """
+    import time as _time
+
+    from repro.obs import validate_profile
+    from repro.obs.report import PROFILE_VARIANTS, SCHEMA_VERSION
+
+    queries = queries or [f"q{i}" for i in range(1, 14)]
+    ladder = [
+        ("baseline", EngineConfig.naive(code_motion=False)),
+        ("+codemotion", EngineConfig.naive()),
+        ("+steal", EngineConfig.local_global_steal()),
+        ("+unroll", EngineConfig.full()),
+    ]
+    assert tuple(name for name, _ in ladder) == PROFILE_VARIANTS
+    t = TextTable(
+        title=(f"Profile — per-optimization cycle breakdown "
+               f"({dataset}, scale={scale!r}, budget={budget})"),
+        columns=["query", *(name for name, _ in ladder),
+                 "full/naive", "lane util", "fastpath wall"],
+    )
+    qdata: dict[str, dict] = {}
+    for qn in queries:
+        w = make_workload(dataset, qn, scale=scale, budget=budget)
+        variants: dict[str, dict] = {}
+        full_res = None
+        wall_fast = 0.0
+        for vname, vcfg in ladder:
+            cfg = vcfg.with_(max_results=w.budget,
+                             observe=(vname == "+unroll"))
+            t0 = _time.perf_counter()
+            res = STMatchEngine(w.graph, cfg).run(
+                w.query, vertex_induced=w.vertex_induced)
+            wall = _time.perf_counter() - t0
+            variants[vname] = {
+                "cycles": res.cycles,
+                "sim_ms": res.sim_ms,
+                "matches": res.matches,
+                "status": res.status,
+            }
+            if vname == "+unroll":
+                full_res, wall_fast = res, wall
+        assert full_res is not None and full_res.report is not None
+        # fastpath A/B on the full engine: reference backend, same cycles
+        ref_cfg = EngineConfig.full(fastpath=False, max_results=w.budget)
+        t0 = _time.perf_counter()
+        ref_res = STMatchEngine(w.graph, ref_cfg).run(
+            w.query, vertex_induced=w.vertex_induced)
+        wall_ref = _time.perf_counter() - t0
+        fast = {
+            "wall_s_reference": round(wall_ref, 4),
+            "wall_s_fastpath": round(wall_fast, 4),
+            "speedup": round(wall_ref / wall_fast if wall_fast else
+                             float("inf"), 3),
+            "identical_cycles": ref_res.cycles == full_res.cycles,
+            "identical_matches": ref_res.matches == full_res.matches,
+        }
+        rep = full_res.report
+        base_ms = variants["baseline"]["sim_ms"]
+        full_ms = variants["+unroll"]["sim_ms"]
+        speedup = base_ms / full_ms if full_ms else float("nan")
+        warps = [
+            {
+                "block": row["block"],
+                "warp": row["warp"],
+                "clock": row["clock"],
+                "busy_cycles": row["busy_cycles"],
+                "idle_cycles": row["idle_cycles"],
+                "lane_utilization": row["lane_utilization"],
+                "batches": row["batches"],
+                "local_attempts": row["local_attempts"],
+                "steals": row["steals"],
+            }
+            for row in rep["warps"]
+        ]
+        qdata[qn] = {
+            "variants": variants,
+            "speedup_full_vs_baseline": round(speedup, 3),
+            "fastpath": fast,
+            "warps": warps,
+            "levels": rep["levels"],
+            "steals": rep["steals"],
+            "unroll": rep["unroll"],
+        }
+        active = [r for r in warps if r["batches"]]
+        mean_util = (sum(r["lane_utilization"] for r in active)
+                     / len(active)) if active else 0.0
+        t.add_row(
+            qn,
+            *(f"{variants[name]['sim_ms']:.2f}" for name, _ in ladder),
+            f"{speedup:.2f}×",
+            f"{mean_util:.2f}",
+            f"{fast['speedup']:.2f}×" + ("" if fast["identical_cycles"]
+                                         and fast["identical_matches"]
+                                         else " NOT-IDENTICAL"),
+        )
+    t.add_note("cells: simulated ms per ladder rung; 'full/naive' is the "
+               "Fig. 12 headline speedup; fastpath wall is host-side only "
+               "(cycles byte-identical by contract)")
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": "profile",
+        "dataset": dataset,
+        "scale": scale,
+        "budget": budget,
+        "queries": qdata,
+    }
+    validate_profile(data)
+    return ExperimentResult(experiment="profile", rendered=t.render(), data=data)
 
 
 # ---------------------------------------------------------------------------

@@ -92,6 +92,12 @@ class EngineConfig:
     #   Snapshots cost zero simulated cycles (async host-side DMA off
     #   the critical path), so fault-free runs are cycle-identical with
     #   or without checkpointing; None disables it.
+    observe: bool = False
+    #   observability (repro.obs): attach a TraceCollector to the launch
+    #   and a schema-versioned report to the result.  Hooks are read-only
+    #   and never charge cycles, so matches / cycles / steal schedules
+    #   are byte-identical with observe on or off (property-tested by
+    #   tests/test_obs_zero_overhead.py); off means zero hook calls.
 
     def __post_init__(self) -> None:
         if self.unroll < 1:

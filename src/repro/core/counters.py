@@ -93,6 +93,10 @@ class RunResult:
     checkpoint:
         Last :class:`~repro.core.checkpoint.KernelSnapshot` of an
         interrupted launch (``None`` when absent) — the resume handle.
+    report:
+        Schema-versioned observability report (``repro.obs``) when the
+        run was launched with ``EngineConfig.observe`` / a collector;
+        ``None`` otherwise.
     """
 
     system: str
@@ -109,6 +113,33 @@ class RunResult:
     detail: str = ""
     error: BaseException | None = None
     checkpoint: object | None = None  # KernelSnapshot | None (no core import)
+    report: dict | None = field(default=None, repr=False)
+
+    def __repr__(self) -> str:
+        # the dataclass default would dump counters/error/checkpoint
+        # wholesale; assertions need status and detail front and center
+        parts = [
+            f"system={self.system!r}",
+            f"status={self.status!r}",
+            f"matches={self.matches}",
+            f"sim_ms={self.sim_ms:.3f}",
+            f"cycles={self.cycles:.0f}",
+        ]
+        if self.num_local_steals or self.num_global_steals or self.num_lost_steals:
+            parts.append(
+                f"steals=local:{self.num_local_steals}"
+                f"/global:{self.num_global_steals}"
+                f"/lost:{self.num_lost_steals}"
+            )
+        if self.detail:
+            parts.append(f"detail={self.detail!r}")
+        if self.error is not None:
+            parts.append(f"error={type(self.error).__name__}")
+        if self.checkpoint is not None:
+            parts.append("checkpoint=<snapshot>")
+        if self.report is not None:
+            parts.append("report=<attached>")
+        return f"RunResult({', '.join(parts)})"
 
     @property
     def ok(self) -> bool:

@@ -107,6 +107,26 @@ class DistributedResult:
     num_lost_messages: int = 0
     num_machine_failures: int = 0
     detail: str = ""
+    report: dict | None = field(default=None, repr=False)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"num_machines={self.num_machines}",
+            f"gpus_per_machine={self.gpus_per_machine}",
+            f"status={self.status!r}",
+            f"matches={self.matches}",
+            f"sim_ms={self.sim_ms:.3f}",
+            f"num_steals={self.num_steals}",
+        ]
+        if self.num_machine_failures:
+            parts.append(f"num_machine_failures={self.num_machine_failures}")
+        if self.num_requeued:
+            parts.append(f"num_requeued={self.num_requeued}")
+        if self.detail:
+            parts.append(f"detail={self.detail!r}")
+        if self.report is not None:
+            parts.append("report=<attached>")
+        return f"DistributedResult({', '.join(parts)})"
 
     @property
     def ok(self) -> bool:
@@ -125,10 +145,10 @@ def _profile_tasks(
     plan: MatchingPlan,
     config: EngineConfig,
     num_tasks: int,
-) -> tuple[list[float], list[int], list[str]]:
+) -> tuple[list[float], list[int], list[str], list[dict | None]]:
     """Execute each root-range task on a virtual device; return per-task
     simulated ms (minus the shared launch, charged once per assignment),
-    match counts and statuses.
+    match counts, statuses and (with ``config.observe``) reports.
 
     A failed task (OOM, injected fault) reports its real status instead
     of silently entering the totals as 0 matches — the caller decides
@@ -142,13 +162,15 @@ def _profile_tasks(
     costs: list[float] = []
     matches: list[int] = []
     statuses: list[str] = []
+    reports: list[dict | None] = []
     for i in range(num_tasks):
         dev = VirtualDevice(config.device, device_id=i)
         res = engine.run(plan, root_range=(bounds[i], bounds[i + 1]), device=dev)
         costs.append(res.sim_ms)
         matches.append(res.matches if res.countable else 0)
         statuses.append(res.status)
-    return costs, matches, statuses
+        reports.append(res.report)
+    return costs, matches, statuses, reports
 
 
 def run_distributed(
@@ -180,7 +202,8 @@ def run_distributed(
         query, vertex_induced=vertex_induced
     )
     num_tasks = max(1, num_machines * gpus_per_machine * tasks_per_gpu)
-    costs, matches, task_statuses = _profile_tasks(graph, plan, config, num_tasks)
+    costs, matches, task_statuses, task_reports = _profile_tasks(
+        graph, plan, config, num_tasks)
 
     fail_at: dict[int, float | None] = {
         mid: (fault_plan.machine_fail_ms(mid) if fault_plan is not None else None)
@@ -381,6 +404,23 @@ def run_distributed(
         status = RunStatus.OK
 
     sim_ms = max((m.finish_ms for m in machines), default=0.0)
+    report = None
+    children = [r for r in task_reports if r is not None]
+    if children:
+        from repro.obs import aggregate_reports
+
+        report = aggregate_reports(
+            "distributed", children, status=status,
+            matches=sum(committed.values()), sim_ms=sim_ms,
+            extra={
+                "num_machines": num_machines,
+                "gpus_per_machine": gpus_per_machine,
+                "num_tasks": num_tasks,
+                "num_steals": num_steals,
+                "num_requeued": num_requeued,
+                "num_machine_failures": num_failures,
+            },
+        )
     return DistributedResult(
         num_machines=num_machines,
         gpus_per_machine=gpus_per_machine,
@@ -395,4 +435,5 @@ def run_distributed(
         num_lost_messages=num_lost_messages,
         num_machine_failures=num_failures,
         detail="; ".join(detail_parts),
+        report=report,
     )

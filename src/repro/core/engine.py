@@ -86,6 +86,7 @@ class STMatchEngine:
         root_partition: tuple[int, int] | None = None,
         device: VirtualDevice | None = None,
         resume_from: KernelSnapshot | None = None,
+        collector: object | None = None,
     ) -> RunResult:
         """Match ``query`` (or a prebuilt plan); returns a RunResult.
 
@@ -94,6 +95,12 @@ class STMatchEngine:
         when no callback is given).  ``root_range`` restricts the root
         vertex range to a contiguous slice; ``root_partition = (owner,
         num_owners)`` shards it round-robin (multi-GPU splitting).
+
+        ``collector`` attaches a :class:`repro.obs.TraceCollector` to
+        the launch (``config.observe=True`` creates one implicitly); the
+        resulting schema-versioned report lands in ``result.report``.
+        Hooks are read-only and charge-free, so observed runs are
+        byte-identical to unobserved ones.
 
         ``resume_from`` continues a checkpointed launch (see
         ``EngineConfig.checkpoint_interval``) instead of starting over.
@@ -121,6 +128,11 @@ class STMatchEngine:
             verify_plan(plan).raise_if_errors()
         dev = device or VirtualDevice(cfg.device)
         computer = CandidateComputer(self.graph, plan, cfg)
+        tracer = collector
+        if tracer is None and cfg.observe:
+            from repro.obs import TraceCollector
+
+            tracer = TraceCollector()
         try:
             self._allocate_fixed_memory(dev, plan, computer)
         except DeviceOOMError as e:
@@ -136,14 +148,20 @@ class STMatchEngine:
                     on_match((int(v),))
             return RunResult(system=self.name, matches=n,
                              sim_ms=dev.cost.to_ms(dev.cost.kernel_launch),
-                             cycles=dev.cost.kernel_launch)
+                             cycles=dev.cost.kernel_launch,
+                             report=self._build_report(
+                                 tracer, dev, RunStatus.OK, n))
 
+        if tracer is not None:
+            for w in dev.warps:
+                w.tracer = tracer
         try:
             state = run_kernel(
                 plan, cfg, computer, dev, root_range=root_range,
                 root_partition=root_partition, on_match=on_match,
                 resume_from=resume_from,
                 checkpoint_interval=cfg.checkpoint_interval,
+                tracer=tracer,
             )
         except KernelInterrupted as e:
             # the launch died mid-flight: report the failure with the
@@ -157,7 +175,13 @@ class STMatchEngine:
                 detail=str(e),
                 error=e,
                 checkpoint=e.checkpoint,
+                report=self._build_report(tracer, dev, status, 0),
             )
+        finally:
+            if tracer is not None:
+                # detach so a reused device never feeds a stale collector
+                for w in dev.warps:
+                    w.tracer = None
         agg = dev.total_counters()
         status = RunStatus.BUDGET if state.stop_flag else RunStatus.OK
         return RunResult(
@@ -172,7 +196,29 @@ class STMatchEngine:
             num_local_steals=state.num_local_steals,
             num_global_steals=state.num_global_steals,
             num_lost_steals=state.num_lost_steals,
+            report=self._build_report(
+                tracer, dev, status, state.matches,
+                num_local_steals=state.num_local_steals,
+                num_global_steals=state.num_global_steals,
+                num_lost_steals=state.num_lost_steals,
+            ),
         )
+
+    def _build_report(
+        self,
+        tracer: object | None,
+        dev: VirtualDevice,
+        status: str,
+        matches: int,
+        **steals: int,
+    ) -> dict | None:
+        if tracer is None:
+            return None
+        from repro.obs import build_report
+
+        return build_report(tracer, device=dev, config=self.config,
+                            status=status, matches=matches,
+                            system=self.name, **steals)
 
     def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
         """Match count only (raises on OOM with the original detail)."""

@@ -136,6 +136,7 @@ class KernelState:
     tasks: list["WarpTask"] = field(default_factory=list)
     sanitizer: "StealSanitizer | None" = None
     checkpointer: Checkpointer | None = None
+    tracer: object | None = None  # repro.obs.TraceCollector | None (read-only)
 
     def block_tasks(self, block_id: int) -> list["WarpTask"]:
         wpb = self.config.device.warps_per_block
@@ -264,11 +265,16 @@ class WarpTask:
                 if st.sanitizer is not None:
                     st.sanitizer.on_chunk(warp, arr)
                 self._gain_work(st.computer.root_frame(arr))
+            if st.tracer is not None:
+                st.tracer.on_chunk(warp, chunk[0], chunk[1], int(arr.size))
             if st.checkpointer is not None:
                 # the chunk is on this warp's stack now, so the cut is
                 # consistent: every issued root is either consumed or
                 # owned by exactly one serialized stack
+                before = st.checkpointer.num_taken
                 st.checkpointer.maybe_take(st)
+                if st.tracer is not None and st.checkpointer.num_taken > before:
+                    st.tracer.on_checkpoint(warp, st.chunks_served, st.matches)
             return StepResult.RUNNING
         # no steal levels enabled: the warp retires with the counter
         if not (cfg.local_steal or cfg.global_steal):
@@ -279,6 +285,8 @@ class WarpTask:
             return StepResult.DONE
         # spin iteration: local steal attempt, then global slot poll
         warp.charge(warp.cost.idle_poll, busy=False)
+        if st.tracer is not None:
+            st.tracer.on_idle_poll(warp)
         if cfg.local_steal and self._try_local_steal():
             return StepResult.RUNNING
         if cfg.global_steal:
@@ -290,6 +298,8 @@ class WarpTask:
     def _try_local_steal(self) -> bool:
         st = self.state
         cfg = st.config
+        if st.tracer is not None:
+            st.tracer.on_local_attempt(self.warp)
         siblings = st.block_tasks(self.warp.block_id)
         target = select_local_target(self, siblings, cfg.stop_level)
         if target is None:
@@ -309,6 +319,10 @@ class WarpTask:
         self.warp.counters.steals_received += 1
         target.warp.counters.steals_initiated += 1
         st.num_local_steals += 1
+        if st.tracer is not None:
+            st.tracer.on_steal("local", self.warp, work.copied_elems,
+                               donor_block=target.warp.block_id,
+                               donor_warp=target.warp.warp_id)
         return True
 
     def _try_take_global(self) -> bool:
@@ -325,6 +339,11 @@ class WarpTask:
             st.sanitizer.on_take(self.warp, pending.work)
         self._gain_work(pending.work.frames)
         self.warp.counters.steals_received += 1
+        if st.tracer is not None:
+            st.tracer.on_steal("global_take", self.warp,
+                               pending.work.copied_elems,
+                               donor_block=pending.pusher_block,
+                               donor_warp=pending.pusher_warp)
         return True
 
     # -- global push side ----------------------------------------------------
@@ -352,6 +371,8 @@ class WarpTask:
             # subtree — is orphaned; only the copy cycles are wasted
             reabsorb(self.stack, work)
             st.num_lost_steals += 1
+            if st.tracer is not None:
+                st.tracer.on_steal_lost(warp, work.copied_elems)
             return
         if san is not None:
             assert snap is not None
@@ -359,6 +380,9 @@ class WarpTask:
                          snapshot=snap, work=work)
         warp.counters.steals_initiated += 1
         st.num_global_steals += 1
+        if st.tracer is not None:
+            st.tracer.on_steal("global_push", warp, work.copied_elems,
+                               target_block=block)
 
     # -- the loop body -----------------------------------------------------
 
@@ -379,6 +403,8 @@ class WarpTask:
         cand = f.active_cand()
         batch = cand[f.iter : f.iter + cfg.unroll]
         f.iter += int(batch.size)
+        if st.tracer is not None:
+            st.tracer.on_batch(warp, f.level, int(batch.size), cfg.unroll)
         if st.sanitizer is not None and f.level == 0 and batch.size:
             st.sanitizer.on_root_batch(warp, batch)
         new_level = f.level + 1
@@ -395,14 +421,24 @@ class WarpTask:
         ):
             # count-only leaf: the last level's candidates are never
             # iterated, only counted, so skip materializing their arrays
+            if st.tracer is not None:
+                st.tracer.on_frame_begin(warp, new_level)
             counts = st.computer.compute_frame(
                 warp, self.stack, new_level, batch, count_only=True
             )
             warp.counters.tree_nodes += int(batch.size)
+            if st.tracer is not None:
+                st.tracer.on_frame(warp, new_level, int(batch.size),
+                                   [int(c) for c in counts])
             self._count_leaf(int(counts.sum()))
             return StepResult.RUNNING
+        if st.tracer is not None:
+            st.tracer.on_frame_begin(warp, new_level)
         frame = st.computer.compute_frame(warp, self.stack, new_level, batch)
         warp.counters.tree_nodes += int(batch.size)
+        if st.tracer is not None:
+            st.tracer.on_frame(warp, new_level, frame.nslots,
+                               [int(c.size) for c in frame.cand])
         if st.sanitizer is not None:
             st.sanitizer.check_frame(warp, frame, "frame entry")
         if new_level == st.plan.size - 1:
@@ -435,6 +471,8 @@ class WarpTask:
             return
         self.warp.charge(self.warp.cost.warp_issue + self.warp.cost.global_access)
         self.warp.counters.matches += total
+        if self.state.tracer is not None:
+            self.state.tracer.on_leaf_matches(self.warp, total)
         self.state.add_matches(total)
 
 
@@ -448,6 +486,7 @@ def run_kernel(
     on_match: MatchCallback | None = None,
     resume_from: KernelSnapshot | None = None,
     checkpoint_interval: int | None = None,
+    tracer: object | None = None,
 ) -> KernelState:
     """Launch the kernel: one warp task per device warp, one launch total.
 
@@ -481,6 +520,7 @@ def run_kernel(
         num_blocks=device.num_blocks,
         warps_per_block=config.device.warps_per_block,
         injector=injector,
+        tracer=tracer,
     )
     sanitizer = None
     if config.sanitize:
@@ -497,8 +537,11 @@ def run_kernel(
         board=board,
         on_match=on_match,
         sanitizer=sanitizer,
+        tracer=tracer,
     )
     state.tasks = [WarpTask(w, state) for w in device.warps]
+    if tracer is not None:
+        tracer.on_kernel_start(len(state.tasks))
     if checkpoint_interval is not None:
         state.checkpointer = Checkpointer(checkpoint_interval)
     if resume_from is not None:
@@ -523,6 +566,7 @@ def run_kernel(
         clock_of=lambda t: t.clock,
         step=lambda t: t.step(),
         watchdog=device.check_faults if injector is not None else None,
+        tracer=tracer,
     )
     try:
         sched.run()

@@ -57,6 +57,22 @@ class MultiGpuResult:
     status: str = RunStatus.OK
     num_requeued: int = 0
     detail: str = ""
+    report: dict | None = field(default=None, repr=False)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"num_devices={self.num_devices}",
+            f"status={self.status!r}",
+            f"matches={self.matches}",
+            f"sim_ms={self.sim_ms:.3f}",
+        ]
+        if self.num_requeued:
+            parts.append(f"num_requeued={self.num_requeued}")
+        if self.detail:
+            parts.append(f"detail={self.detail!r}")
+        if self.report is not None:
+            parts.append("report=<attached>")
+        return f"MultiGpuResult({', '.join(parts)})"
 
     @property
     def ok(self) -> bool:
@@ -86,14 +102,26 @@ def _aggregate(
     recovered = [f"shard {i}: {r.detail}"
                  for i, r in enumerate(results)
                  if r.countable and r.status == RunStatus.RECOVERED]
+    sim_ms = max(timelines, default=0.0)
+    report = None
+    children = [r.report for r in results if r.report is not None]
+    if children:
+        from repro.obs import aggregate_reports
+
+        report = aggregate_reports(
+            "multi_gpu", children, status=status, matches=matches,
+            sim_ms=sim_ms,
+            extra={"num_devices": num_devices, "num_requeued": num_requeued},
+        )
     return MultiGpuResult(
         num_devices=num_devices,
         per_device=results,
         matches=matches,
-        sim_ms=max(timelines, default=0.0),
+        sim_ms=sim_ms,
         status=status,
         num_requeued=num_requeued,
         detail="; ".join(bad + recovered),
+        report=report,
     )
 
 

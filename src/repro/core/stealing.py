@@ -86,6 +86,7 @@ class GlobalStealBoard:
     slots: list[PendingWork | None] = field(default_factory=list)
     injector: object | None = None  # FaultInjector | None
     num_lost_messages: int = 0
+    tracer: object | None = None    # repro.obs.TraceCollector | None (read-only)
 
     def __post_init__(self) -> None:
         if not self.idle:
@@ -95,6 +96,8 @@ class GlobalStealBoard:
 
     def mark_idle(self, block_id: int, warp_id: int) -> None:
         self.idle[block_id].add(warp_id)
+        if self.tracer is not None:
+            self.tracer.on_mark_idle(block_id, warp_id)
 
     def clear_idle(self, block_id: int, warp_id: int | None = None) -> None:
         if warp_id is None:
@@ -132,7 +135,11 @@ class GlobalStealBoard:
             raise ValueError(f"global_stks[{block_id}] already occupied")
         if self.injector is not None and self.injector.drop_steal_message():
             self.num_lost_messages += 1
+            if self.tracer is not None:
+                self.tracer.on_deposit(block_id, work.copied_elems, lost=True)
             return False
+        if self.tracer is not None:
+            self.tracer.on_deposit(block_id, work.copied_elems, lost=False)
         self.slots[block_id] = PendingWork(
             work=work,
             pusher_clock=pusher_clock,
@@ -145,6 +152,8 @@ class GlobalStealBoard:
         """A woken warp collects its block's deposited stack."""
         pw = self.slots[block_id]
         self.slots[block_id] = None
+        if pw is not None and self.tracer is not None:
+            self.tracer.on_board_take(block_id)
         return pw
 
     @property

@@ -1,0 +1,388 @@
+"""The trace collector: read-only hooks → per-warp/per-level metrics.
+
+Hook discipline
+---------------
+Every ``on_*`` method is called *after* the instrumented action took
+effect and must only read its arguments — never mutate a warp, a stack
+or the kernel state, and never charge cycles.  The simulation is a
+single-threaded discrete-event loop, so a collector may keep simple
+"current frame" context between a hook pair without locking.
+
+Aggregates are kept incrementally (cheap integer adds); the raw event
+stream is recorded only when ``keep_events=True``, capped at
+``max_events`` (overflow is counted in ``dropped_events``, never
+raised — tracing must not be able to kill a run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.virtgpu.costmodel import WARP_SIZE
+
+__all__ = ["TraceCollector", "TraceEvent", "WarpObs", "LevelObs"]
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record (clocks are simulated cycles)."""
+
+    kind: str
+    ts: float
+    block: int
+    warp: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "ts": self.ts,
+            "block": self.block,
+            "warp": self.warp,
+            **self.data,
+        }
+
+
+@dataclass
+class WarpObs:
+    """Observed activity of one warp (collector-side, never charged)."""
+
+    block: int
+    warp: int
+    set_ops: int = 0
+    set_op_elems: int = 0
+    set_op_rounds: int = 0
+    set_op_cycles: float = 0.0
+    combined_slots: int = 0      # per-slot operations fused into set ops
+    copies: int = 0
+    copy_elems: int = 0
+    filters: int = 0
+    filter_elems: int = 0
+    chunks: int = 0
+    roots: int = 0
+    idle_polls: int = 0
+    local_attempts: int = 0
+    local_steals: int = 0
+    global_pushes: int = 0
+    global_push_lost: int = 0
+    global_takes: int = 0
+    stolen_elems: int = 0        # candidates this warp received via steals
+    batches: int = 0
+    batch_elems: int = 0
+    max_batch: int = 0
+    frames: int = 0
+    cand_elems: int = 0
+    leaf_matches: int = 0
+    checkpoints: int = 0
+
+    @property
+    def lane_utilization(self) -> float:
+        """Useful-lane fraction of combined set operations (Fig. 8)."""
+        slots = self.set_op_rounds * WARP_SIZE
+        return self.set_op_elems / slots if slots else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "block": self.block,
+            "warp": self.warp,
+            "set_ops": self.set_ops,
+            "set_op_elems": self.set_op_elems,
+            "set_op_rounds": self.set_op_rounds,
+            "set_op_cycles": self.set_op_cycles,
+            "combined_slots": self.combined_slots,
+            "lane_utilization": self.lane_utilization,
+            "copies": self.copies,
+            "copy_elems": self.copy_elems,
+            "filters": self.filters,
+            "filter_elems": self.filter_elems,
+            "chunks": self.chunks,
+            "roots": self.roots,
+            "idle_polls": self.idle_polls,
+            "local_attempts": self.local_attempts,
+            "steals": {
+                "local": self.local_steals,
+                "global_push": self.global_pushes,
+                "global_push_lost": self.global_push_lost,
+                "global_take": self.global_takes,
+                "stolen_elems": self.stolen_elems,
+            },
+            "batches": self.batches,
+            "batch_elems": self.batch_elems,
+            "max_batch": self.max_batch,
+            "frames": self.frames,
+            "cand_elems": self.cand_elems,
+            "leaf_matches": self.leaf_matches,
+            "checkpoints": self.checkpoints,
+        }
+
+
+@dataclass
+class LevelObs:
+    """Observed activity at one stack level."""
+
+    level: int
+    frames: int = 0              # frames entered at this level
+    slots: int = 0               # unrolled slots across those frames
+    cand_elems: int = 0          # filtered candidates produced
+    max_cand: int = 0            # largest single candidate set
+    batches: int = 0             # unroll batches taken *from* this level
+    batch_elems: int = 0
+    max_batch: int = 0
+    set_ops: int = 0             # combined set ops during frame entry
+    set_op_elems: int = 0
+    set_op_rounds: int = 0
+
+    @property
+    def avg_cand(self) -> float:
+        return self.cand_elems / self.slots if self.slots else 0.0
+
+    @property
+    def avg_batch_fill(self) -> float:
+        return self.batch_elems / self.batches if self.batches else 0.0
+
+    @property
+    def lane_utilization(self) -> float:
+        slots = self.set_op_rounds * WARP_SIZE
+        return self.set_op_elems / slots if slots else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "level": self.level,
+            "frames": self.frames,
+            "slots": self.slots,
+            "cand_elems": self.cand_elems,
+            "max_cand": self.max_cand,
+            "avg_cand": self.avg_cand,
+            "batches": self.batches,
+            "batch_elems": self.batch_elems,
+            "max_batch": self.max_batch,
+            "avg_batch_fill": self.avg_batch_fill,
+            "set_ops": self.set_ops,
+            "set_op_elems": self.set_op_elems,
+            "set_op_rounds": self.set_op_rounds,
+            "lane_utilization": self.lane_utilization,
+        }
+
+
+class TraceCollector:
+    """Aggregating subscriber for the virtual GPU's trace hooks."""
+
+    def __init__(self, keep_events: bool = False, max_events: int = 2_000_000) -> None:
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self.warps: dict[tuple[int, int], WarpObs] = {}
+        self.levels: dict[int, LevelObs] = {}
+        # board-side counters (attempt accounting for conservation laws)
+        self.global_push_attempts = 0
+        self.global_push_lost = 0
+        self.board_takes = 0
+        self.mark_idle_events = 0
+        self.checkpoints = 0
+        self.scheduler_steps = 0
+        self.kernel_launches = 0
+        # "current frame" context: level being entered by the warp the
+        # scheduler is stepping right now (single-threaded, so one slot)
+        self._frame_level: int | None = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _warp(self, warp: Any) -> WarpObs:
+        key = (warp.block_id, warp.warp_id)
+        obs = self.warps.get(key)
+        if obs is None:
+            obs = WarpObs(block=warp.block_id, warp=warp.warp_id)
+            self.warps[key] = obs
+        return obs
+
+    def _level(self, level: int) -> LevelObs:
+        obs = self.levels.get(level)
+        if obs is None:
+            obs = LevelObs(level=level)
+            self.levels[level] = obs
+        return obs
+
+    def _emit(self, kind: str, warp: Any, **data: Any) -> None:
+        if not self.keep_events:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(kind=kind, ts=warp.clock, block=warp.block_id,
+                       warp=warp.warp_id, data=data)
+        )
+
+    # -- virtgpu hooks (repro.virtgpu.warp / setops) -----------------------
+
+    def on_set_op(self, warp: Any, total_elems: int, operand_size: int,
+                  rounds: int, cycles: float) -> None:
+        obs = self._warp(warp)
+        obs.set_ops += 1
+        obs.set_op_elems += total_elems
+        obs.set_op_rounds += rounds
+        obs.set_op_cycles += cycles
+        if self._frame_level is not None:
+            lv = self._level(self._frame_level)
+            lv.set_ops += 1
+            lv.set_op_elems += total_elems
+            lv.set_op_rounds += rounds
+        self._emit("set_op", warp, elems=total_elems, operand=operand_size,
+                   rounds=rounds, cycles=cycles)
+
+    def on_combined_set_op(self, warp: Any, num_slots: int, total_elems: int,
+                           max_operand: int) -> None:
+        """Slot-level detail of one combined (Fig. 8) set operation."""
+        self._warp(warp).combined_slots += num_slots
+        self._emit("combined_set_op", warp, slots=num_slots,
+                   elems=total_elems, operand=max_operand)
+
+    def on_copy(self, warp: Any, num_elems: int, rounds: int, cycles: float) -> None:
+        obs = self._warp(warp)
+        obs.copies += 1
+        obs.copy_elems += num_elems
+        self._emit("copy", warp, elems=num_elems, rounds=rounds, cycles=cycles)
+
+    def on_filter(self, warp: Any, num_elems: int, cycles: float) -> None:
+        obs = self._warp(warp)
+        obs.filters += 1
+        obs.filter_elems += num_elems
+        self._emit("filter", warp, elems=num_elems, cycles=cycles)
+
+    # -- scheduler hook (repro.virtgpu.scheduler) --------------------------
+
+    def on_step(self, clock: float, entity: Any, result: Any) -> None:
+        self.scheduler_steps += 1
+
+    # -- kernel hooks (repro.core.kernel) ----------------------------------
+
+    def on_kernel_start(self, num_warps: int) -> None:
+        self.kernel_launches += 1
+
+    def on_chunk(self, warp: Any, start: int, end: int, roots: int) -> None:
+        obs = self._warp(warp)
+        obs.chunks += 1
+        obs.roots += roots
+        self._emit("chunk", warp, start=start, end=end, roots=roots)
+
+    def on_idle_poll(self, warp: Any) -> None:
+        self._warp(warp).idle_polls += 1
+
+    def on_local_attempt(self, warp: Any) -> None:
+        self._warp(warp).local_attempts += 1
+
+    def on_steal(self, kind: str, warp: Any, copied_elems: int,
+                 donor_block: int = -1, donor_warp: int = -1,
+                 target_block: int = -1) -> None:
+        """A successful steal event.
+
+        ``kind`` is ``"local"`` (thief pulled from a sibling),
+        ``"global_push"`` (donor deposited into an idle block) or
+        ``"global_take"`` (woken warp collected a deposit).
+        """
+        obs = self._warp(warp)
+        if kind == "local":
+            obs.local_steals += 1
+            obs.stolen_elems += copied_elems
+        elif kind == "global_push":
+            obs.global_pushes += 1
+        elif kind == "global_take":
+            obs.global_takes += 1
+            obs.stolen_elems += copied_elems
+        else:
+            raise ValueError(f"unknown steal kind {kind!r}")
+        self._emit(f"steal_{kind}", warp, elems=copied_elems,
+                   donor_block=donor_block, donor_warp=donor_warp,
+                   target_block=target_block)
+
+    def on_steal_lost(self, warp: Any, copied_elems: int) -> None:
+        """A global push message dropped in flight (fault injection)."""
+        self._warp(warp).global_push_lost += 1
+        self._emit("steal_lost", warp, elems=copied_elems)
+
+    def on_batch(self, warp: Any, level: int, batch_size: int, unroll: int) -> None:
+        """An unroll batch taken from the level's candidate set."""
+        obs = self._warp(warp)
+        obs.batches += 1
+        obs.batch_elems += batch_size
+        if batch_size > obs.max_batch:
+            obs.max_batch = batch_size
+        lv = self._level(level)
+        lv.batches += 1
+        lv.batch_elems += batch_size
+        if batch_size > lv.max_batch:
+            lv.max_batch = batch_size
+        self._emit("batch", warp, level=level, size=batch_size, unroll=unroll)
+
+    def on_frame_begin(self, warp: Any, level: int) -> None:
+        """Set-op attribution context for the frame being computed."""
+        self._frame_level = level
+
+    def on_frame(self, warp: Any, level: int, nslots: int,
+                 cand_sizes: Sequence[int]) -> None:
+        """A frame (or count-only leaf) finished computing.
+
+        ``cand_sizes`` holds the per-slot *filtered* candidate-set sizes
+        — the quantity Fig. 13 is about.
+        """
+        self._frame_level = None
+        obs = self._warp(warp)
+        obs.frames += 1
+        lv = self._level(level)
+        lv.frames += 1
+        lv.slots += nslots
+        total = 0
+        biggest = lv.max_cand
+        for s in cand_sizes:
+            n = int(s)
+            total += n
+            if n > biggest:
+                biggest = n
+        lv.cand_elems += total
+        lv.max_cand = biggest
+        obs.cand_elems += total
+        self._emit("frame", warp, level=level, slots=nslots, cand=total)
+
+    def on_leaf_matches(self, warp: Any, total: int) -> None:
+        self._warp(warp).leaf_matches += total
+        self._emit("matches", warp, count=total)
+
+    def on_checkpoint(self, warp: Any, chunks_served: int, matches: int) -> None:
+        self.checkpoints += 1
+        self._warp(warp).checkpoints += 1
+        self._emit("checkpoint", warp, chunks_served=chunks_served,
+                   matches=matches)
+
+    # -- steal-board hooks (repro.core.stealing) ---------------------------
+
+    def on_deposit(self, block_id: int, copied_elems: int, lost: bool) -> None:
+        """A deposit *attempt* on ``global_stks[block_id]``."""
+        self.global_push_attempts += 1
+        if lost:
+            self.global_push_lost += 1
+
+    def on_board_take(self, block_id: int) -> None:
+        self.board_takes += 1
+
+    def on_mark_idle(self, block_id: int, warp_id: int) -> None:
+        self.mark_idle_events += 1
+
+    # -- derived totals ----------------------------------------------------
+
+    def totals(self) -> dict[str, Any]:
+        """Collector-wide sums used by reports and conservation tests."""
+        w = self.warps.values()
+        return {
+            "local_attempts": sum(o.local_attempts for o in w),
+            "local": sum(o.local_steals for o in w),
+            "global_push_attempts": self.global_push_attempts,
+            "global_push": sum(o.global_pushes for o in w),
+            "global_push_lost": self.global_push_lost,
+            "global_take": sum(o.global_takes for o in w),
+            "stolen_elems": sum(o.stolen_elems for o in w),
+            "idle_polls": sum(o.idle_polls for o in w),
+            "mark_idle": self.mark_idle_events,
+            "board_takes": self.board_takes,
+        }

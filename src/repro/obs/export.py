@@ -1,0 +1,107 @@
+"""Trace exporters: JSONL event streams and Chrome ``trace_event`` files.
+
+Both exporters read a :class:`~repro.obs.collector.TraceCollector`
+that was created with ``keep_events=True`` — aggregates alone cannot be
+replayed on a timeline.  Writing an empty collector is valid and
+produces a well-formed (header-only / metadata-only) file.
+
+The Chrome format targets ``chrome://tracing`` / Perfetto: duration
+(``"X"``) events for cycle-charged work (set ops, copies, filters)
+with simulated cycles mapped 1:1 to microseconds, and instant
+(``"i"``) events for scheduling markers (chunks, steals, checkpoints).
+Blocks become processes and warps become threads, so the per-warp
+timelines line up exactly like the paper's warp diagrams.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .report import SCHEMA_VERSION
+
+__all__ = ["write_jsonl", "write_chrome_trace"]
+
+#: event kinds rendered as Chrome duration events (they carry ``cycles``)
+_DURATION_KINDS = frozenset({"set_op", "copy", "filter"})
+
+
+def write_jsonl(collector: Any, path: str | Path) -> Path:
+    """Write the collector's event stream as JSON Lines.
+
+    The first line is a header record (``{"schema_version": ..,
+    "kind": "header", ...}``); every following line is one
+    :class:`TraceEvent` dict.  Returns the path written.
+    """
+    out = Path(path)
+    with out.open("w", encoding="utf-8") as fh:
+        header = {
+            "kind": "header",
+            "schema_version": SCHEMA_VERSION,
+            "num_events": len(collector.events),
+            "dropped_events": collector.dropped_events,
+            "kernel_launches": collector.kernel_launches,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for ev in collector.events:
+            fh.write(json.dumps(ev.to_dict()) + "\n")
+    return out
+
+
+def _chrome_event(ev: Any) -> dict[str, Any]:
+    base: dict[str, Any] = {
+        "name": ev.kind,
+        "pid": ev.block,
+        "tid": ev.warp,
+        "args": dict(ev.data),
+    }
+    cycles = ev.data.get("cycles")
+    if ev.kind in _DURATION_KINDS and cycles is not None:
+        # charge_* hooks fire after the charge: the event *ends* at ev.ts
+        base["ph"] = "X"
+        base["ts"] = ev.ts - cycles
+        base["dur"] = cycles
+        base["cat"] = "compute"
+    else:
+        base["ph"] = "i"
+        base["ts"] = ev.ts
+        base["s"] = "t"  # thread-scoped instant
+        base["cat"] = "sched"
+    return base
+
+
+def write_chrome_trace(collector: Any, path: str | Path) -> Path:
+    """Write the event stream in Chrome ``trace_event`` JSON format."""
+    events: list[dict[str, Any]] = []
+    blocks = sorted({(ev.block, ev.warp) for ev in collector.events})
+    # process/thread name metadata so the viewer labels lanes
+    seen_blocks: set[int] = set()
+    for block, warp in blocks:
+        if block not in seen_blocks:
+            seen_blocks.add(block)
+            events.append({
+                "ph": "M", "pid": block, "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"block {block}"},
+            })
+        events.append({
+            "ph": "M", "pid": block, "tid": warp,
+            "name": "thread_name",
+            "args": {"name": f"warp {warp}"},
+        })
+    for ev in collector.events:
+        events.append(_chrome_event(ev))
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": SCHEMA_VERSION,
+            "source": "repro.obs",
+            "time_unit": "1 us == 1 simulated cycle",
+            "dropped_events": collector.dropped_events,
+        },
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload), encoding="utf-8")
+    return out

@@ -50,10 +50,12 @@ class EventScheduler(Generic[T]):
         clock_of: Callable[[T], float],
         step: Callable[[T], StepResult],
         watchdog: Callable[[float], None] | None = None,
+        tracer: object | None = None,
     ) -> None:
         self._clock_of = clock_of
         self._step = step
         self._watchdog = watchdog
+        self._tracer = tracer
         self._heap: list[tuple[float, int, T]] = []
         self._seq = 0
         self._blocked: set[T] = set()
@@ -99,6 +101,8 @@ class EventScheduler(Generic[T]):
                 # kernel timeout), aborting the whole run mid-flight
                 self._watchdog(clock)
             result = self._step(e)
+            if self._tracer is not None:
+                self._tracer.on_step(clock, e, result)
             steps += 1
             if result is StepResult.RUNNING:
                 self._push(e)

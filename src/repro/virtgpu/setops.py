@@ -120,6 +120,10 @@ def combined_set_op_batch(
     keep = ~found if difference else found
     if warp is not None:
         warp.charge_set_op(total, max(max_operand, 1), in_global=in_global)
+        if warp.tracer is not None:
+            segs = np.asarray(value_segments)
+            num_slots = int(segs.max()) + 1 if segs.size else 0
+            warp.tracer.on_combined_set_op(warp, num_slots, total, max_operand)
     return values[keep], value_segments[keep]
 
 
@@ -178,6 +182,8 @@ def combined_set_op(
         results.append(a[keep])
     if warp is not None and m:
         warp.charge_set_op(total, max_operand, in_global=in_global)
+        if warp.tracer is not None:
+            warp.tracer.on_combined_set_op(warp, m, total, max_operand)
     return results
 
 
@@ -235,4 +241,6 @@ def combined_set_op_lockstep(
             out_counts[s] += int(bres[sidx == s].sum())
     if warp is not None and m:
         warp.charge_set_op(total, max(max_operand, 1), in_global=in_global)
+        if warp.tracer is not None:
+            warp.tracer.on_combined_set_op(warp, m, total, int(max_operand))
     return [outputs[i][: int(out_counts[i])] for i in range(m)]

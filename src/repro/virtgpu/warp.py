@@ -65,6 +65,9 @@ class Warp:
     cost: GpuCostModel = field(default_factory=GpuCostModel)
     clock: float = 0.0
     counters: WarpCounters = field(default_factory=WarpCounters)
+    # read-only observability subscriber (repro.obs.TraceCollector);
+    # hooks fire after charges and never alter the cost model
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     def charge(self, cycles: float, busy: bool = True) -> None:
         """Advance this warp's clock by ``cycles``."""
@@ -82,18 +85,27 @@ class Warp:
         self.counters.set_ops += 1
         self.counters.rounds += rounds
         self.counters.busy_lanes += total_elems
-        self.charge(self.cost.set_op_cycles(total_elems, operand_size, in_global))
+        cycles = self.cost.set_op_cycles(total_elems, operand_size, in_global)
+        self.charge(cycles)
+        if self.tracer is not None:
+            self.tracer.on_set_op(self, total_elems, operand_size, rounds, cycles)
 
     def charge_copy(self, num_elems: int, in_global: bool = True) -> None:
         rounds = self.cost.rounds(num_elems)
         self.counters.copies += 1
         self.counters.rounds += rounds
         self.counters.busy_lanes += num_elems
-        self.charge(self.cost.copy_cycles(num_elems, in_global))
+        cycles = self.cost.copy_cycles(num_elems, in_global)
+        self.charge(cycles)
+        if self.tracer is not None:
+            self.tracer.on_copy(self, num_elems, rounds, cycles)
 
     def charge_filter(self, num_elems: int) -> None:
         self.counters.filters += 1
-        self.charge(self.cost.filter_cycles(num_elems))
+        cycles = self.cost.filter_cycles(num_elems)
+        self.charge(cycles)
+        if self.tracer is not None:
+            self.tracer.on_filter(self, num_elems, cycles)
 
     def sync_to(self, other_clock: float) -> None:
         """Wait (idle) until ``other_clock`` if it is in this warp's future."""

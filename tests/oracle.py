@@ -1,0 +1,149 @@
+"""Brute-force golden-count oracle (NetworkX VF2).
+
+The engine's test suite so far pinned *differential* identities
+(fastpath vs reference, observed vs unobserved, faulted vs fault-free)
+— all of which a systematically wrong engine could satisfy.  This
+module provides ground truth: an independent NetworkX-based counter
+and a small corpus of seeded graphs whose exact counts are checked in
+as ``tests/fixtures/golden_counts.json``.
+
+Semantics: the engine counts *unique edge-induced subgraphs* (vertex
+sets + required edges), i.e. monomorphism images up to query
+automorphism.  VF2's ``subgraph_monomorphisms_iter`` enumerates
+*mappings*, so::
+
+    oracle_count = |monomorphisms| / |Aut(query)|
+
+(labels participate in both sides via ``node_match`` /
+``QueryGraph.automorphisms``).  The division is asserted exact — a
+remainder would mean the two sides disagree on semantics.
+
+Regenerate the fixture after changing the corpus::
+
+    PYTHONPATH=src python tests/oracle.py --regen
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.labels import assign_random_labels, relabel_query_consistently
+from repro.pattern import QUERIES
+from repro.pattern.query import QueryGraph
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_counts.json"
+
+#: queries covered by the corpus (the paper's q1–q13 set)
+ORACLE_QUERIES = [f"q{i}" for i in range(1, 14)]
+
+#: labeled-protocol constants — must mirror tests/test_fastpath_property.py
+NUM_LABELS = 3
+LABEL_SEED = 7
+
+
+def corpus_graphs() -> dict[str, CSRGraph]:
+    """The seed graphs of the golden corpus (deterministic generators).
+
+    ``sparse`` exercises deep exploration with small candidate sets;
+    ``dense`` (70 edges on 20 vertices) makes the clique-bearing queries
+    (q6, q8, q13) produce nonzero counts while staying enumerable by
+    brute force in seconds.
+    """
+    sparse = nx.powerlaw_cluster_graph(48, 2, 0.4, seed=42)
+    dense = nx.powerlaw_cluster_graph(20, 4, 0.9, seed=7)
+    return {
+        "sparse": CSRGraph.from_networkx(sparse, name="sparse"),
+        "dense": CSRGraph.from_networkx(dense, name="dense"),
+    }
+
+
+def labeled_pair(graph: CSRGraph, query: QueryGraph) -> tuple[CSRGraph, QueryGraph]:
+    """Label a corpus graph + query with the suite's standard protocol."""
+    lg = assign_random_labels(graph, num_labels=NUM_LABELS, seed=LABEL_SEED)
+    abstract = np.arange(query.size, dtype=np.int32) % NUM_LABELS
+    bound = relabel_query_consistently(abstract, lg, seed=LABEL_SEED)
+    return lg, query.with_labels(bound)
+
+
+def count_oracle(graph: CSRGraph, query: QueryGraph) -> int:
+    """Count unique edge-induced matches of ``query`` by brute force."""
+    g_nx = graph.to_networkx()
+    q_nx = query.to_networkx()
+    node_match = None
+    if query.is_labeled:
+        if not graph.is_labeled:
+            raise ValueError("labeled query against an unlabeled graph")
+        node_match = nx.algorithms.isomorphism.categorical_node_match("label", None)
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        g_nx, q_nx, node_match=node_match
+    )
+    num_mono = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+    num_aut = len(query.automorphisms())
+    if num_mono % num_aut:
+        raise AssertionError(
+            f"{num_mono} monomorphisms not divisible by |Aut| = {num_aut} "
+            f"for {query!r} — semantics mismatch"
+        )
+    return num_mono // num_aut
+
+
+def generate_fixture() -> dict:
+    """Recompute every golden count (slow: full VF2 enumeration)."""
+    graphs = corpus_graphs()
+    counts: dict[str, dict[str, dict[str, int]]] = {}
+    meta: dict[str, dict] = {}
+    for gname, g in graphs.items():
+        meta[gname] = {
+            "num_vertices": int(g.num_vertices),
+            "num_edges": int(g.num_edges),
+        }
+        counts[gname] = {"unlabeled": {}, "labeled": {}}
+        for qname in ORACLE_QUERIES:
+            q = QUERIES[qname]
+            counts[gname]["unlabeled"][qname] = count_oracle(g, q)
+            lg, lq = labeled_pair(g, q)
+            counts[gname]["labeled"][qname] = count_oracle(lg, lq)
+    return {
+        "schema_version": 1,
+        "oracle": "networkx.GraphMatcher.subgraph_monomorphisms_iter / |Aut|",
+        "labeled_protocol": {
+            "num_labels": NUM_LABELS,
+            "seed": LABEL_SEED,
+            "note": "assign_random_labels + relabel_query_consistently "
+                    "(same as tests/test_fastpath_property.py)",
+        },
+        "graphs": meta,
+        "counts": counts,
+    }
+
+
+def load_fixture() -> dict:
+    with FIXTURE_PATH.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--regen", action="store_true",
+                   help=f"recompute and overwrite {FIXTURE_PATH}")
+    args = p.parse_args(argv)
+    if not args.regen:
+        p.error("nothing to do (pass --regen)")
+    fixture = generate_fixture()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with FIXTURE_PATH.open("w", encoding="utf-8") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    ncells = sum(len(v) for g in fixture["counts"].values() for v in g.values())
+    print(f"wrote {FIXTURE_PATH} ({ncells} golden counts)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,23 +33,26 @@ def test_pyproject_lint_config_is_well_formed():
     mypy = cfg["tool"]["mypy"]
     assert mypy["mypy_path"] == "src"
     overrides = cfg["tool"]["mypy"]["overrides"]
-    strict = [o for o in overrides if o["module"] == "repro.analysis.*"]
-    assert strict and strict[0]["strict"] is True
+    for module in ("repro.analysis.*", "repro.obs.*"):
+        strict = [o for o in overrides if o["module"] == module]
+        assert strict and strict[0]["strict"] is True, module
 
 
 @pytest.mark.skipif(not has_module("ruff"), reason="ruff not installed ([lint] extra)")
-def test_ruff_clean_on_analysis_package():
+@pytest.mark.parametrize("package", ["src/repro/analysis", "src/repro/obs"])
+def test_ruff_clean_on_strict_packages(package):
     proc = subprocess.run(
-        [sys.executable, "-m", "ruff", "check", "src/repro/analysis"],
+        [sys.executable, "-m", "ruff", "check", package],
         cwd=REPO, capture_output=True, text=True, timeout=300,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 @pytest.mark.skipif(not has_module("mypy"), reason="mypy not installed ([lint] extra)")
-def test_mypy_clean_on_analysis_package():
+@pytest.mark.parametrize("package", ["repro.analysis", "repro.obs"])
+def test_mypy_clean_on_strict_packages(package):
     proc = subprocess.run(
-        [sys.executable, "-m", "mypy", "-p", "repro.analysis"],
+        [sys.executable, "-m", "mypy", "-p", package],
         cwd=REPO, capture_output=True, text=True, timeout=600,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
