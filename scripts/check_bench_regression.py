@@ -20,6 +20,18 @@ Three modes:
   ``--min-profile-speedup`` (default 1.0 — optimizations must never
   make a query slower than the naive rung).
 
+* ``check_bench_regression.py --parallel BENCH_parallel.json`` —
+  validate a ``python -m repro.bench parallel`` payload: every
+  (workload, worker-count) point must report byte-identical matches
+  and cycles between the serial and process backends, and the geomean
+  speedup at 4 workers must reach ``--min-parallel-speedup`` (default
+  2.5) *scaled by the parallelism the recording host could physically
+  deliver* — ``min(4, cpu_count) / 4`` — so a payload generated on a
+  core-constrained box is held to an honest floor (e.g. 1 usable CPU
+  caps any 4-worker speedup near 1×; demanding 2.5× there would only
+  reward fabricated numbers).  On a ≥ 4-core host the full floor
+  applies.
+
 Exit status 0 = pass, 1 = regression/violation, 2 = bad input.
 """
 
@@ -129,6 +141,43 @@ def check_profile(path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_parallel(path: str, min_speedup: float) -> list[str]:
+    """Validate a ``repro.bench parallel`` payload (identity + scaling)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if payload.get("experiment") != "parallel" or "workloads" not in payload:
+        print(f"error: {path} is not a parallel bench payload", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    for w in payload["workloads"]:
+        for p in w.get("points", []):
+            where = f"{w['key']}@{p['workers']}w"
+            if not p.get("identical_matches", False):
+                problems.append(f"{where}: process backend changed the match count")
+            if not p.get("identical_cycles", False):
+                problems.append(f"{where}: process backend changed the simulated cycles")
+    cpus = int(payload.get("cpu_count") or 1)
+    target_workers = 4
+    # a k-worker pool cannot beat the cores it actually has: scale the
+    # floor by the attainable parallelism of the recording host
+    attainable = min(target_workers, max(1, cpus))
+    required = min_speedup * attainable / target_workers
+    gm = payload.get("geomean_speedup_at_4")
+    if gm is None:
+        problems.append("payload has no geomean_speedup_at_4 (no 4-worker points?)")
+    elif gm < required:
+        problems.append(
+            f"geomean 4-worker speedup {gm}× is below the floor "
+            f"{required:.2f}× ({min_speedup}× scaled by "
+            f"min(4, {cpus} cpu(s))/4)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="baseline JSON (or the only file to validate)")
@@ -145,7 +194,32 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-profile-speedup", type=float, default=1.0,
                    help="profile mode: required full-over-baseline speedup "
                         "per query (default 1.0)")
+    p.add_argument("--parallel", action="store_true",
+                   help="treat the file as a BENCH_parallel.json payload: "
+                        "check serial/process identity per point and the "
+                        "4-worker geomean floor (scaled by the recording "
+                        "host's cpu_count)")
+    p.add_argument("--min-parallel-speedup", type=float, default=2.5,
+                   help="parallel mode: required geomean speedup at 4 "
+                        "workers on a >= 4-core host (default 2.5); scaled "
+                        "down by min(4, cpu_count)/4 on smaller hosts")
     args = p.parse_args(argv)
+
+    if args.parallel:
+        if args.current is not None:
+            p.error("--parallel takes a single file")
+        problems = check_parallel(args.baseline, args.min_parallel_speedup)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        print(f"ok: parallel payload valid, "
+              f"{len(payload['workloads'])} workload(s), geomean 4-worker "
+              f"speedup {payload.get('geomean_speedup_at_4')}× on "
+              f"{payload.get('cpu_count')} cpu(s), identity invariants hold")
+        return 0
 
     if args.profile:
         if args.current is not None:

@@ -219,6 +219,24 @@ def lint_budget(
                 "to index hub adjacency rows (host wall-clock only; "
                 "simulated cycles are unchanged)",
             )
+    if (
+        graph is not None
+        and config.executor == "process"
+        and config.num_workers is not None
+    ):
+        num_chunks = -(-graph.num_vertices // config.chunk_size)  # ceil div
+        if config.num_workers > max(1, num_chunks):
+            rep.add(
+                "B407", Severity.WARNING, "config.num_workers",
+                f"{config.num_workers} worker processes but only "
+                f"{num_chunks} root chunk(s) to shard "
+                f"({graph.num_vertices} roots / chunk_size "
+                f"{config.chunk_size}): a round-robin partition hands the "
+                "extra workers no roots at all — they fork, attach the "
+                "shared graph and exit without contributing",
+                hint=f"lower num_workers toward {max(1, num_chunks)} or "
+                "shrink chunk_size so every worker owns at least one chunk",
+            )
     rep.add(
         "B405", Severity.NOTE, f"level {est.peak_live_level}",
         f"peak slot pressure: {est.peak_live_sets} live set(s) × unroll "

@@ -64,6 +64,7 @@ RULE_CATALOG: dict[str, str] = {
     "B404": "neighbor lists longer than max_degree spill to host memory",
     "B405": "peak live-set report (informational)",
     "B406": "hub operands reach the adjacency-bitmap threshold but no bitmap index is configured",
+    "B407": "process-executor worker count exceeds the divisible shard/root-chunk supply",
     "X501": "steal segment duplicated between donor and thief",
     "X502": "steal dropped or invented candidates",
     "X503": "steal touched a frame deeper than stop_level",

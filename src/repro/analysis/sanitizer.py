@@ -52,6 +52,7 @@ class SanitizerError(RuntimeError):
     def __init__(self, rule: str, where: str, message: str, trace: list[str]) -> None:
         self.rule = rule
         self.where = where
+        self.message = message
         self.trace = trace
         text = f"{rule} at {where}: {message}"
         if trace:
@@ -59,6 +60,13 @@ class SanitizerError(RuntimeError):
                 f"  {line}" for line in trace
             )
         super().__init__(text)
+
+    def __reduce__(self) -> tuple:
+        # default exception pickling replays cls(formatted_text) and does
+        # not match this constructor; rebuild from the structured fields
+        # so violations raised inside process-pool workers (repro.parallel)
+        # reach the parent with rule/where/trace intact
+        return (type(self), (self.rule, self.where, self.message, self.trace))
 
 
 def _wname(warp: "Warp | None") -> str:

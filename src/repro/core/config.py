@@ -98,6 +98,24 @@ class EngineConfig:
     #   and never charge cycles, so matches / cycles / steal schedules
     #   are byte-identical with observe on or off (property-tested by
     #   tests/test_obs_zero_overhead.py); off means zero hook calls.
+    executor: str = "serial"
+    #   shard execution backend for the multi-shard drivers
+    #   (run_multi_gpu, run_distributed, STMatchEngine.run_partitioned):
+    #   "serial" loops in-process; "process" fans shards out onto a
+    #   persistent ProcessPoolExecutor over a shared-memory graph
+    #   (repro.parallel) — result-identical to serial by contract
+    #   (tests/test_parallel_identity.py).  The REPRO_EXECUTOR env var
+    #   overrides at resolution time for CI matrices.
+    num_workers: int | None = None
+    #   worker processes for executor="process" (None = all usable
+    #   cores; REPRO_NUM_WORKERS overrides).  Pools spawn lazily and
+    #   only when num_workers > 1 AND more than one shard exists — tiny
+    #   runs never pay fork/IPC overhead (serial fast fallback).
+    worker_timeout_s: float | None = None
+    #   wall-clock cap on one parallel shard batch: shards unfinished
+    #   when it expires surface as FAILED with a non-empty detail and
+    #   are re-queued onto surviving shards' devices — never a hang.
+    #   None (default) waits indefinitely, matching serial semantics.
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -129,6 +147,16 @@ class EngineConfig:
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
             raise ValueError(
                 "checkpoint_interval must be >= 1 root chunks (or None to disable)"
+            )
+        if self.executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process', not {self.executor!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1 (or None for all cores)")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError(
+                "worker_timeout_s must be > 0 seconds (or None to wait forever)"
             )
 
     # -- ablation variants (Fig. 12) --------------------------------------

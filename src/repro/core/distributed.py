@@ -153,23 +153,40 @@ def _profile_tasks(
     A failed task (OOM, injected fault) reports its real status instead
     of silently entering the totals as 0 matches — the caller decides
     whether the aggregate count is still meaningful.
+
+    Task profiling is the only real kernel work of a distributed run
+    (the event loop replays the profiled costs), so under
+    ``config.executor == "process"`` the tasks fan out onto the worker
+    pool of :mod:`repro.parallel` — per-task results are identical, the
+    loop stays deterministic.
     """
-    engine = STMatchEngine(graph, config)
     from .candidates import CandidateComputer
 
     total_roots = int(CandidateComputer(graph, plan, config).root_candidates.size)
     bounds = [round(i * total_roots / num_tasks) for i in range(num_tasks + 1)]
-    costs: list[float] = []
-    matches: list[int] = []
-    statuses: list[str] = []
-    reports: list[dict | None] = []
-    for i in range(num_tasks):
-        dev = VirtualDevice(config.device, device_id=i)
-        res = engine.run(plan, root_range=(bounds[i], bounds[i + 1]), device=dev)
-        costs.append(res.sim_ms)
-        matches.append(res.matches if res.countable else 0)
-        statuses.append(res.status)
-        reports.append(res.report)
+
+    from repro.parallel import ShardSpec, resolve_execution, run_shards
+
+    executor, num_workers = resolve_execution(config)
+    if executor == "process":
+        specs = [
+            ShardSpec(index=i, device_id=i, root_range=(bounds[i], bounds[i + 1]))
+            for i in range(num_tasks)
+        ]
+        task_results = run_shards(graph, plan, config, specs,
+                                  num_workers=num_workers,
+                                  timeout_s=config.worker_timeout_s)
+    else:
+        engine = STMatchEngine(graph, config)
+        task_results = []
+        for i in range(num_tasks):
+            dev = VirtualDevice(config.device, device_id=i)
+            task_results.append(
+                engine.run(plan, root_range=(bounds[i], bounds[i + 1]), device=dev))
+    costs = [r.sim_ms for r in task_results]
+    matches = [r.matches if r.countable else 0 for r in task_results]
+    statuses = [r.status for r in task_results]
+    reports = [r.report for r in task_results]
     return costs, matches, statuses, reports
 
 

@@ -54,6 +54,10 @@ class STMatchEngine:
 
     # -- planning ----------------------------------------------------------
 
+    #: plan-cache size guard: queries are few (q1..q24 × a handful of
+    #: flag combinations), so eviction is a whole-cache reset, not LRU
+    _PLAN_CACHE_MAX = 512
+
     def plan(
         self,
         query: QueryGraph,
@@ -62,16 +66,43 @@ class STMatchEngine:
         order: Sequence[int] | None = None,
         order_strategy: str = "greedy",
     ) -> MatchingPlan:
-        """Compile ``query`` against this engine's graph and config."""
-        return build_plan(
+        """Compile ``query`` against this engine's graph and config.
+
+        Plans are memoized on the *graph* object (the same pattern as
+        its degree/bitmap caches), keyed by every input that shapes the
+        plan — so ``run_multi_gpu``, which builds a fresh engine per
+        call, still replans at most once per distinct
+        ``(query, vertex_induced, symmetry_breaking, ...)`` combination.
+        Plans are immutable, so sharing one across shards (and pickling
+        it to process-pool workers) is safe.
+        """
+        key = (
             query,
-            data_graph=self.graph,
-            vertex_induced=vertex_induced,
-            symmetry_breaking=symmetry_breaking,
-            code_motion=self.config.code_motion,
-            order=order,
-            order_strategy=order_strategy,
+            vertex_induced,
+            symmetry_breaking,
+            self.config.code_motion,
+            tuple(order) if order is not None else None,
+            order_strategy,
         )
+        cache = getattr(self.graph, "_plan_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self.graph, "_plan_cache", cache)
+        plan = cache.get(key)
+        if plan is None:
+            plan = build_plan(
+                query,
+                data_graph=self.graph,
+                vertex_induced=vertex_induced,
+                symmetry_breaking=symmetry_breaking,
+                code_motion=self.config.code_motion,
+                order=order,
+                order_strategy=order_strategy,
+            )
+            if len(cache) >= self._PLAN_CACHE_MAX:
+                cache.clear()
+            cache[key] = plan
+        return plan
 
     # -- execution ---------------------------------------------------------
 
@@ -219,6 +250,49 @@ class STMatchEngine:
         return build_report(tracer, device=dev, config=self.config,
                             status=status, matches=matches,
                             system=self.name, **steals)
+
+    def run_partitioned(
+        self,
+        query: QueryGraph | MatchingPlan,
+        num_partitions: int | None = None,
+        vertex_induced: bool = False,
+        symmetry_breaking: bool = True,
+        fault_plan=None,
+        max_retries: int = 3,
+    ):
+        """Split one run into round-robin root-chunk partitions.
+
+        The partitions are exactly the multi-GPU decomposition of
+        Fig. 11 applied *within* one logical run: partition ``p`` of
+        ``n`` serves every ``n``-th root chunk on its own device
+        replica, and the aggregate is a
+        :class:`~repro.core.multi_gpu.MultiGpuResult` (sum of matches,
+        makespan of shards).  Under ``executor="process"`` the
+        partitions run on the worker pool — the intra-run parallelism
+        the process backend exists for.  ``num_partitions`` defaults to
+        the resolved worker count.
+
+        Note a partitioned run is *not* cycle-identical to the same
+        query unpartitioned (each partition launches its own kernel
+        with its own steal schedule); identity holds between serial and
+        process execution of the **same** partition count.
+        """
+        from repro.parallel import resolve_execution
+
+        from .multi_gpu import run_multi_gpu
+
+        if num_partitions is None:
+            _, num_partitions = resolve_execution(self.config)
+        return run_multi_gpu(
+            self.graph,
+            query,
+            num_partitions,
+            self.config,
+            vertex_induced=vertex_induced,
+            symmetry_breaking=symmetry_breaking,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
+        )
 
     def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
         """Match count only (raises on OOM with the original detail)."""

@@ -71,6 +71,12 @@ class KernelInterrupted(RuntimeError):
             msg += "; no checkpoint available (full restart required)"
         super().__init__(msg)
 
+    def __reduce__(self):
+        # default exception pickling replays cls(message) and drops the
+        # cause/checkpoint pair; rebuild from the fields so interrupted
+        # launches round-trip from process-pool workers (repro.parallel)
+        return (type(self), (self.cause, self.checkpoint))
+
     @property
     def timed_out(self) -> bool:
         return isinstance(self.cause, KernelTimeoutError)

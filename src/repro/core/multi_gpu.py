@@ -149,6 +149,12 @@ def run_multi_gpu(
     reflects).  Counts stay exactly equal to the fault-free run, or the
     result carries a non-countable ``status`` and a non-empty
     ``detail``.
+
+    With ``config.executor == "process"`` (or ``REPRO_EXECUTOR``) the
+    shards run on the persistent worker pool of :mod:`repro.parallel`
+    over a shared-memory copy of the graph — result-identical to the
+    serial loop; a worker that dies or times out surfaces as a FAILED
+    shard and is re-queued onto the survivors like any other failure.
     """
     if num_devices < 1:
         raise ValueError("need at least one device")
@@ -161,57 +167,107 @@ def run_multi_gpu(
             query, vertex_induced=vertex_induced, symmetry_breaking=symmetry_breaking
         )
 
-    if fault_plan is None or fault_plan.empty:
-        results = []
+    from repro.parallel import ShardSpec, resolve_execution, run_shards
+
+    executor, num_workers = resolve_execution(config)
+    use_pool = executor == "process"
+    faulted = fault_plan is not None and not fault_plan.empty
+    ledger = None
+    if faulted:
+        from repro.faults.recovery import RecoveryLedger, run_with_recovery
+
+        ledger = RecoveryLedger()
+
+    # round 1: every shard on its own device replica
+    results: list[RunResult] = []
+    timelines = [0.0] * num_devices
+    if use_pool:
+        specs = [
+            ShardSpec(index=d, device_id=d, root_partition=(d, num_devices),
+                      recover=faulted,
+                      range_key=(d, num_devices) if faulted else None,
+                      max_retries=max_retries)
+            for d in range(num_devices)
+        ]
+        results = run_shards(graph, plan, config, specs,
+                             num_workers=num_workers, fault_plan=fault_plan,
+                             timeout_s=config.worker_timeout_s)
+        if faulted:
+            # mirror the workers' final per-shard outcomes into the
+            # shared ledger (workers ran their own X506 checks locally)
+            for d, res in enumerate(results):
+                ledger.absorb((d, num_devices), res)
+    elif not faulted:
         for d in range(num_devices):
             dev = VirtualDevice(config.device, device_id=d)
             results.append(engine.run(plan, root_partition=(d, num_devices),
                                       device=dev))
-        return _aggregate(num_devices, results, [r.sim_ms for r in results])
-
-    # failure-aware path: recovery ladder per shard, then re-queue
-    from repro.faults.recovery import RecoveryLedger, run_with_recovery
-
-    ledger = RecoveryLedger()
-    results: list[RunResult] = []
-    timelines = [0.0] * num_devices
-    for d in range(num_devices):
-        res = run_with_recovery(
-            graph, plan, config,
-            fault_plan=fault_plan,
-            device_id=d,
-            root_partition=(d, num_devices),
-            max_retries=max_retries,
-            ledger=ledger,
-            range_key=(d, num_devices),
-        )
-        results.append(res)
-        timelines[d] += res.sim_ms
-
-    survivors = [d for d in range(num_devices) if results[d].countable]
-    lost = [d for d in range(num_devices) if not results[d].countable]
-    num_requeued = 0
-    if survivors:
-        for i, d in enumerate(lost):
-            host = survivors[i % len(survivors)]
-            res = run_with_recovery(
+    else:
+        for d in range(num_devices):
+            results.append(run_with_recovery(
                 graph, plan, config,
                 fault_plan=fault_plan,
-                device_id=host,
+                device_id=d,
                 root_partition=(d, num_devices),
                 max_retries=max_retries,
                 ledger=ledger,
                 range_key=(d, num_devices),
-                # the host already consumed its own attempts; never
-                # re-fire its attempt-0 schedule on the re-queued range
-                attempt_offset=max_retries + 1,
-            )
+            ))
+    for d in range(num_devices):
+        timelines[d] += results[d].sim_ms
+
+    # round 2: re-queue shards that never completed onto survivors.
+    # Fault-free runs only retry pool-infrastructure losses (a dead or
+    # timed-out worker): the kernel itself cannot fail without an
+    # injector, and e.g. an OOM would deterministically repeat on an
+    # identical replica, so those keep their honest status instead.
+    if faulted:
+        lost = [d for d in range(num_devices) if not results[d].countable]
+    else:
+        lost = [d for d in range(num_devices)
+                if results[d].status == RunStatus.FAILED]
+    survivors = [d for d in range(num_devices) if results[d].countable]
+    num_requeued = 0
+    if lost and survivors:
+        rspecs = [
+            ShardSpec(index=d, device_id=survivors[i % len(survivors)],
+                      root_partition=(d, num_devices),
+                      recover=faulted,
+                      range_key=(d, num_devices) if faulted else None,
+                      # the host already consumed its own attempts; never
+                      # re-fire its attempt-0 schedule on the re-queued range
+                      attempt_offset=max_retries + 1 if faulted else 0,
+                      max_retries=max_retries)
+            for i, d in enumerate(lost)
+        ]
+        if use_pool:
+            rres = run_shards(graph, plan, config, rspecs,
+                              num_workers=num_workers, fault_plan=fault_plan,
+                              timeout_s=config.worker_timeout_s)
+            if faulted:
+                for spec, res in zip(rspecs, rres):
+                    ledger.absorb(spec.range_key, res)
+        else:
+            rres = [
+                run_with_recovery(
+                    graph, plan, config,
+                    fault_plan=fault_plan,
+                    device_id=spec.device_id,
+                    root_partition=spec.root_partition,
+                    max_retries=max_retries,
+                    ledger=ledger,
+                    range_key=spec.range_key,
+                    attempt_offset=spec.attempt_offset,
+                )
+                for spec in rspecs
+            ]
+        for spec, res in zip(rspecs, rres):
             num_requeued += 1
-            timelines[host] += res.sim_ms
+            timelines[spec.device_id] += res.sim_ms
             if res.countable:
-                detail = f"re-queued onto device {host}"
+                detail = f"re-queued onto device {spec.device_id}"
                 if res.detail:
                     detail += f" ({res.detail})"
                 res = replace(res, status=RunStatus.RECOVERED, detail=detail)
-            results[d] = res
+            results[spec.index] = res
     return _aggregate(num_devices, results, timelines, num_requeued)

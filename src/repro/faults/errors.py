@@ -32,6 +32,13 @@ class InjectedFault(RuntimeError):
             f"{at_cycle:.0f} (attempt {attempt})"
         )
 
+    def __reduce__(self):
+        # BaseException's default reduce replays ``cls(*args)`` with the
+        # formatted message only, which does not match this constructor;
+        # rebuild from the structured fields so faults survive the trip
+        # back from a process-pool worker (repro.parallel)
+        return (type(self), (self.device_id, self.at_cycle, self.attempt))
+
 
 class DeviceFailError(InjectedFault):
     """The device died mid-kernel (fail-stop); its memory is lost.

@@ -21,6 +21,11 @@ Fault kinds map onto the failure modes of the paper's execution stack:
   deposit never lands and the donor keeps its stack;
 * ``MACHINE_FAIL`` — a whole cluster machine dies (Sec. VIII-B
   distributed extension); its queued and in-flight tasks are orphaned.
+* ``WORKER_CRASH`` — the host-side worker *process* running a shard
+  dies outright (the driver crash / OOM-kill case of the process
+  execution backend, :mod:`repro.parallel`).  Only meaningful under
+  ``executor="process"``: a serial run cannot kill its own process, so
+  serial executors ignore these events.
 """
 
 from __future__ import annotations
@@ -42,8 +47,10 @@ class FaultKind:
     TRANSIENT_OOM = "transient_oom"
     STEAL_LOSS = "steal_loss"
     MACHINE_FAIL = "machine_fail"
+    WORKER_CRASH = "worker_crash"
 
-    ALL = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS, MACHINE_FAIL)
+    ALL = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS,
+           MACHINE_FAIL, WORKER_CRASH)
 
     #: kinds scoped to one virtual device / one kernel attempt
     DEVICE_SCOPED = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS)
@@ -91,6 +98,8 @@ class FaultEvent:
         if self.kind == FaultKind.MACHINE_FAIL:
             if self.machine is None or self.at_ms is None or self.at_ms < 0:
                 raise ValueError("machine_fail needs a machine and at_ms >= 0")
+        if self.kind == FaultKind.WORKER_CRASH and self.device is None:
+            raise ValueError("worker_crash needs a device (= shard id)")
         if self.count < 1:
             raise ValueError("count must be >= 1")
 
@@ -215,6 +224,18 @@ class FaultPlan:
         return FaultInjector(
             device_id=device, attempt=attempt, fail_at=fail_at,
             timeout_at=timeout_at, oom=oom, steal_losses=losses,
+        )
+
+    def worker_crash(self, device: int, attempt: int = 0) -> bool:
+        """Whether the worker *process* hosting ``device``'s shard dies
+        on ``attempt``.  Consulted only by the process execution backend
+        (:mod:`repro.parallel`): an in-process run cannot kill itself,
+        so serial executors never fire these events."""
+        return any(
+            e.kind == FaultKind.WORKER_CRASH
+            and e.device == device
+            and e.attempt == attempt
+            for e in self.events
         )
 
     def machine_fail_ms(self, machine: int) -> float | None:

@@ -90,6 +90,23 @@ class RecoveryLedger:
                 [],
             )
 
+    def absorb(self, key: RangeKey, result: RunResult) -> None:
+        """Mirror a shard's *final* result computed elsewhere.
+
+        The process execution backend runs ``run_with_recovery`` inside
+        a worker with a fresh local ledger (preserving the per-attempt
+        X506 checks); the coordinating process then absorbs the
+        returned result here so the shared ledger sees exactly what a
+        serial run would have recorded: one ``commit`` for a countable
+        shard, one ``observe_failure`` otherwise.  A failed result's
+        partial count was already zeroed by the worker-side checks, so
+        both X506 halves keep firing across process boundaries.
+        """
+        if result.countable:
+            self.commit(key, result)
+        else:
+            self.observe_failure(key, result)
+
     @property
     def total_matches(self) -> int:
         return sum(self.committed.values())

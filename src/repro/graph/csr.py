@@ -136,6 +136,38 @@ class CSRGraph:
             name=name or getattr(g, "name", None) or "graph",
         )
 
+    @classmethod
+    def wrap_validated(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray | None = None,
+        degree: np.ndarray | None = None,
+        directed: bool = False,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Wrap *pre-validated* arrays without copying or re-checking.
+
+        ``__post_init__`` round-trips the arrays through ``int64`` and
+        re-runs ``validate()``, which would defeat zero-copy attachment
+        to :mod:`multiprocessing.shared_memory` buffers.  This
+        constructor trusts the caller: the arrays must come from a
+        graph that already passed validation (``repro.parallel`` exports
+        exactly such arrays), with ``indptr`` int64 and ``indices`` /
+        ``labels`` int32.  ``degree`` pre-seeds the degree cache so
+        workers never recompute it.
+        """
+        g = object.__new__(cls)
+        object.__setattr__(g, "indptr", indptr)
+        object.__setattr__(g, "indices", indices)
+        object.__setattr__(g, "labels", labels)
+        object.__setattr__(g, "directed", directed)
+        object.__setattr__(g, "name", name)
+        object.__setattr__(g, "_validated", True)
+        if degree is not None:
+            object.__setattr__(g, "_degree_cache", degree)
+        return g
+
     # -- validation ----------------------------------------------------
 
     def validate(self) -> None:

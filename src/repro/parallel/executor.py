@@ -1,0 +1,327 @@
+"""Process-pool shard execution (``EngineConfig.executor = "process"``).
+
+Device shards and intra-run root-chunk partitions are embarrassingly
+parallel: each runs an independent kernel over its own round-robin
+slice of the root counter on its own virtual device, exactly the
+duplication-and-split decomposition of STMatch Sec. VIII-B.  Serial
+drivers (``run_multi_gpu``, ``run_distributed``, ``run_partitioned``)
+execute those shards one after another in a single Python process, so
+real wall-clock grows linearly with shard count even though the
+*simulated* makespan shrinks.  This module maps the same shards onto a
+persistent :class:`~concurrent.futures.ProcessPoolExecutor` instead.
+
+Identity contract
+-----------------
+The backend is **result-identical to serial**: a shard's kernel run
+depends only on ``(graph, plan, config, shard spec, fault injector)``
+and the simulation is deterministic, so executing shards in worker
+processes changes *which OS process* computes each result and nothing
+else — matches, cycles, steal schedules, ``RunStatus``, obs reports
+and recovery trails are byte-identical (pinned by
+``tests/test_parallel_identity.py``).
+
+Fast fallback
+-------------
+``run_shards`` executes in-process — through the *same* shard function
+— when ``num_workers <= 1`` or only one shard exists, so tiny runs
+never pay fork/IPC overhead.  The ``REPRO_EXECUTOR`` and
+``REPRO_NUM_WORKERS`` environment variables override the config at
+resolution time (CI matrices re-run the whole suite under the process
+backend without touching call sites).
+
+Crash containment
+-----------------
+A worker that dies (``BrokenProcessPool``) or a batch that exceeds
+``worker_timeout_s`` surfaces as ``FAILED`` shard results with a
+non-empty ``detail`` — never a hang or a silent zero count — and the
+poisoned pool is discarded so the next batch gets a fresh one.  Callers
+re-queue those shards onto survivors (``run_multi_gpu``'s existing
+recovery path).  ``FaultKind.WORKER_CRASH`` events let tests and chaos
+sweeps schedule such deaths deterministically.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.counters import RunResult, RunStatus
+
+from .sharedgraph import SharedGraphHandle, attach_graph, export_graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import EngineConfig
+    from repro.faults.plan import FaultPlan
+    from repro.graph.csr import CSRGraph
+    from repro.pattern.plan import MatchingPlan
+
+__all__ = [
+    "ShardSpec",
+    "default_num_workers",
+    "resolve_execution",
+    "run_shards",
+    "shutdown_pools",
+]
+
+#: exit code of a deterministically scheduled WORKER_CRASH (a nod to
+#: "max headroom": distinguishable from a real segfault in pool logs)
+CRASH_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of shard work, picklable and self-contained.
+
+    ``index`` is the shard's position in the caller's result list;
+    ``device_id`` the virtual device hosting it.  Exactly one of
+    ``root_partition`` (round-robin, multi-GPU style) or ``root_range``
+    (contiguous slice, distributed-task style) is normally set; both
+    ``None`` means the full root range.  ``recover=True`` routes the
+    shard through the recovery ladder with the fault plan armed
+    (``range_key`` / ``attempt_offset`` as in
+    :func:`repro.faults.recovery.run_with_recovery`).
+    """
+
+    index: int
+    device_id: int
+    root_partition: tuple[int, int] | None = None
+    root_range: tuple[int, int] | None = None
+    recover: bool = False
+    range_key: tuple | None = None
+    attempt_offset: int = 0
+    max_retries: int = 3
+
+
+def default_num_workers() -> int:
+    """Usable CPU parallelism (affinity-aware, min 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_execution(config: "EngineConfig") -> tuple[str, int]:
+    """Resolve ``(executor, num_workers)`` with env overrides applied.
+
+    ``REPRO_EXECUTOR`` (``serial`` | ``process``) and
+    ``REPRO_NUM_WORKERS`` take precedence over the config so CI
+    matrices can re-route every driver without touching call sites.
+    """
+    executor = os.environ.get("REPRO_EXECUTOR", "").strip() or config.executor
+    if executor not in ("serial", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r} (expected 'serial' or 'process')"
+        )
+    raw = os.environ.get("REPRO_NUM_WORKERS", "").strip()
+    if raw:
+        workers = int(raw)
+    elif config.num_workers is not None:
+        workers = config.num_workers
+    else:
+        workers = default_num_workers()
+    return executor, max(1, workers)
+
+
+def _execute_shard(
+    graph: "CSRGraph",
+    plan: "MatchingPlan",
+    config: "EngineConfig",
+    spec: ShardSpec,
+    fault_plan: "FaultPlan | None",
+) -> RunResult:
+    """Run one shard — the single code path shared by worker processes
+    and the in-process fallback, which is what makes them identical."""
+    from repro.core.engine import STMatchEngine
+    from repro.virtgpu.device import VirtualDevice
+
+    if spec.recover:
+        from repro.faults.recovery import RecoveryLedger, run_with_recovery
+
+        # a fresh local ledger preserves the per-attempt X506 checks
+        # inside the worker; the caller mirrors the *final* result into
+        # its shared ledger (RecoveryLedger.absorb)
+        return run_with_recovery(
+            graph, plan, config,
+            fault_plan=fault_plan,
+            device_id=spec.device_id,
+            root_range=spec.root_range,
+            root_partition=spec.root_partition,
+            max_retries=spec.max_retries,
+            ledger=RecoveryLedger(),
+            range_key=spec.range_key,
+            attempt_offset=spec.attempt_offset,
+        )
+    engine = STMatchEngine(graph, config)
+    dev = VirtualDevice(config.device, device_id=spec.device_id)
+    return engine.run(
+        plan,
+        root_range=spec.root_range,
+        root_partition=spec.root_partition,
+        device=dev,
+    )
+
+
+def _worker_shard(
+    handle: SharedGraphHandle,
+    plan: "MatchingPlan",
+    config: "EngineConfig",
+    spec: ShardSpec,
+    fault_plan: "FaultPlan | None",
+) -> RunResult:
+    """Worker-process entry: attach the shared graph, run the shard."""
+    if fault_plan is not None and fault_plan.worker_crash(
+        spec.device_id, spec.attempt_offset
+    ):
+        # scheduled hard process death: no cleanup, no result — the
+        # parent sees BrokenProcessPool, exactly like a real crash
+        os._exit(CRASH_EXIT_CODE)
+    graph = attach_graph(handle)
+    return _execute_shard(graph, plan, config, spec, fault_plan)
+
+
+# -- persistent pools --------------------------------------------------------
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _pool(num_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(num_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=num_workers)
+        _POOLS[num_workers] = pool
+    return pool
+
+
+def _discard_pool(num_workers: int) -> None:
+    pool = _POOLS.pop(num_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent pool (atexit backstop; tests use it
+    to force fresh workers)."""
+    for n in list(_POOLS):
+        _discard_pool(n)
+
+
+atexit.register(shutdown_pools)
+
+
+def _failed(spec: ShardSpec, detail: str) -> RunResult:
+    return RunResult(system="stmatch", status=RunStatus.FAILED, detail=detail)
+
+
+def run_shards(
+    graph: "CSRGraph",
+    plan: "MatchingPlan",
+    config: "EngineConfig",
+    specs: list[ShardSpec],
+    num_workers: int,
+    fault_plan: "FaultPlan | None" = None,
+    timeout_s: float | None = None,
+) -> list[RunResult]:
+    """Execute ``specs`` and return their results in spec order.
+
+    With ``num_workers <= 1`` or a single spec the shards run
+    in-process (serial fast fallback — no pool is spawned); otherwise
+    they are fanned out onto the persistent pool over the shared-memory
+    graph.  Pool-infrastructure failures (a dead worker, an exceeded
+    ``timeout_s``) come back as ``FAILED`` results with a non-empty
+    ``detail``; errors raised *by the shard itself* (e.g. a
+    ``SanitizerError``) propagate, exactly as serial execution would.
+    """
+    if not specs:
+        return []
+    if num_workers <= 1 or len(specs) <= 1:
+        return [_execute_shard(graph, plan, config, s, fault_plan) for s in specs]
+    handle = export_graph(graph)
+    workers = min(num_workers, len(specs))
+    pool = _pool(workers)
+    try:
+        futures = [
+            pool.submit(_worker_shard, handle, plan, config, s, fault_plan)
+            for s in specs
+        ]
+    except BrokenExecutor:
+        # the previous batch poisoned this pool before we could discard
+        # it (e.g. an atexit race); retry once on a fresh one
+        _discard_pool(workers)
+        pool = _pool(workers)
+        futures = [
+            pool.submit(_worker_shard, handle, plan, config, s, fault_plan)
+            for s in specs
+        ]
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    results: list[RunResult] = []
+    broken = False
+    pool_deaths: list[int] = []  # positions whose future died with the pool
+    for pos, (spec, fut) in enumerate(zip(specs, futures, strict=True)):
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+        try:
+            results.append(fut.result(timeout=remaining))
+        except FuturesTimeoutError:
+            broken = True
+            results.append(_failed(
+                spec,
+                f"worker wall-clock timeout: shard {spec.index} (device "
+                f"{spec.device_id}) unfinished after {timeout_s}s",
+            ))
+        except BrokenExecutor as e:
+            broken = True
+            pool_deaths.append(pos)
+            results.append(_failed(
+                spec,
+                f"worker process died running shard {spec.index} (device "
+                f"{spec.device_id}): {e or 'process pool terminated abruptly'}",
+            ))
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+    if broken:
+        # a dead/hung worker poisons the whole pool; replace it so the
+        # caller's re-queue round (and the next batch) start clean
+        _discard_pool(workers)
+    if pool_deaths:
+        # isolation replay: ONE dead worker breaks every pending future,
+        # which would smear FAILED over innocent shards and leave the
+        # caller's re-queue round without survivors.  Re-run each victim
+        # alone on a throwaway single-worker pool — the shard that
+        # really crashes kills only its own pool and keeps its FAILED
+        # result (with the blame pinned); innocents get their real
+        # results back.
+        for pos in pool_deaths:
+            spec = specs[pos]
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            solo = ProcessPoolExecutor(max_workers=1)
+            try:
+                results[pos] = solo.submit(
+                    _worker_shard, handle, plan, config, spec, fault_plan
+                ).result(timeout=remaining)
+            except FuturesTimeoutError:
+                results[pos] = _failed(
+                    spec,
+                    f"worker wall-clock timeout: shard {spec.index} (device "
+                    f"{spec.device_id}) unfinished after {timeout_s}s "
+                    "(isolation replay)",
+                )
+            except BrokenExecutor as e:
+                results[pos] = _failed(
+                    spec,
+                    f"worker process died running shard {spec.index} (device "
+                    f"{spec.device_id}), reproduced in isolation: "
+                    f"{e or 'process pool terminated abruptly'}",
+                )
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
+    return results

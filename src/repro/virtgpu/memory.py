@@ -31,6 +31,12 @@ class DeviceOOMError(MemoryError):
         self.in_use = in_use
         self.capacity = capacity
 
+    def __reduce__(self):
+        # default exception pickling replays cls(message) and loses the
+        # allocation sizes; rebuild from the fields so OOM results keep
+        # their real numbers across process-pool workers (repro.parallel)
+        return (type(self), (self.space, self.requested, self.in_use, self.capacity))
+
 
 @dataclass
 class MemorySpace:
