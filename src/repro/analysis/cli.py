@@ -1,29 +1,52 @@
-"""``python -m repro.analysis`` — lint matching plans before you run them.
+"""``python -m repro.analysis`` — lint plans and race-check schedules.
 
 Subcommands
 -----------
 ``lint [PATTERN ...]``
     Compile each pattern into a :class:`MatchingPlan` and run the
-    static verifier (:mod:`repro.analysis.verify`) plus the resource
-    linter (:mod:`repro.analysis.budget`).  Patterns are names from the
-    built-in q1–q24 registry, ``cliqueK`` (K-clique), or ``motifs:N``
-    (every connected N-vertex motif); the default is the full built-in
-    set.  Exit status 1 when any ERROR diagnostic fires.
+    static verifier (:mod:`repro.analysis.verify`), the lifetime/
+    aliasing rules (:mod:`repro.analysis.races.lifetime`) and the
+    resource linter (:mod:`repro.analysis.budget`).  Patterns are names
+    from the built-in q1–q24 registry, ``cliqueK`` (K-clique), or
+    ``motifs:N`` (every connected N-vertex motif); the default is the
+    full built-in set.
+``race [PATTERN ...]``
+    Schedule exploration (:mod:`repro.analysis.races.schedules`): run
+    each pattern on a small workload under many seeded interleavings
+    and assert count identity plus zero happens-before findings.
 ``rules``
-    Print the diagnostic rule catalog.
+    Print the diagnostic rule catalog (derived from the single rule
+    registry, so it can never drift).
+
+Exit codes (all subcommands)
+----------------------------
+``0``
+    Clean — no ERROR-severity diagnostic, every explored schedule
+    reproduced the golden count.
+``1``
+    At least one ERROR-severity finding (lint) or schedule violation
+    (race).
+``2``
+    Usage error: unknown pattern, bad flag combination.
+
+``--json`` on ``lint`` and ``race`` replaces the human-readable text
+with one machine-readable JSON document on stdout (same exit codes).
 
 Examples::
 
     python -m repro.analysis lint                      # everything built in
-    python -m repro.analysis lint q7 clique5           # specific patterns
+    python -m repro.analysis lint q7 clique5 --json
     python -m repro.analysis lint q24 --graph wiki_vote --scale tiny
     python -m repro.analysis lint q5 --unroll 64 --shared-mem 4096
     python -m repro.analysis lint q13 --split-labels --labels 3 -v
+    python -m repro.analysis race --max-schedules 64
+    python -m repro.analysis race q2 --graph mico --labels 3 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence, TextIO
 
@@ -38,7 +61,8 @@ from repro.pattern.query import QueryGraph
 from repro.virtgpu.device import DeviceConfig
 
 from .budget import lint_budget
-from .diagnostics import RULE_CATALOG, DiagnosticReport, Severity
+from .diagnostics import RULE_REGISTRY, DiagnosticReport, Severity
+from .races.lifetime import check_lifetimes
 from .verify import verify_plan
 
 __all__ = ["main", "lint_plan", "resolve_patterns"]
@@ -50,9 +74,10 @@ def lint_plan(
     graph: CSRGraph | None = None,
     subject: str | None = None,
 ) -> DiagnosticReport:
-    """Layers 1 + 2: static verification, then the budget linter."""
+    """Static verification, lifetime/aliasing rules, budget linter."""
     name = subject or f"plan[{plan.original_query.name or 'query'}]"
     rep = verify_plan(plan, subject=name)
+    rep.extend(check_lifetimes(plan.program, config, subject=name))
     rep.extend(lint_budget(plan, config, graph, subject=name))
     return rep
 
@@ -92,10 +117,24 @@ def _with_cycled_labels(query: QueryGraph, num_labels: int) -> QueryGraph:
     )
 
 
+def _add_device_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--unroll", type=int, default=None)
+    p.add_argument("--max-degree", type=int, default=None)
+    p.add_argument("--stop-level", type=int, default=None)
+    p.add_argument("--blocks", type=int, default=None)
+    p.add_argument("--warps", type=int, default=None,
+                   help="warps per block")
+    p.add_argument("--shared-mem", type=int, default=None,
+                   help="shared memory per block, bytes")
+    p.add_argument("--global-mem", type=int, default=None,
+                   help="global memory, bytes")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static verifier + resource linter for STMatch matching plans.",
+        description="Static verifier, resource linter and concurrency "
+                    "analyzer for STMatch matching plans.",
     )
     sub = p.add_subparsers(dest="command", required=True)
     lint = sub.add_parser("lint", help="verify plans and lint their memory budget")
@@ -115,23 +154,44 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--split-labels", action="store_true",
                       help="lint the per-label split program (Fig. 10a) "
                            "instead of the merged form — needs --labels")
-    lint.add_argument("--unroll", type=int, default=None)
-    lint.add_argument("--max-degree", type=int, default=None)
-    lint.add_argument("--stop-level", type=int, default=None)
-    lint.add_argument("--blocks", type=int, default=None)
-    lint.add_argument("--warps", type=int, default=None,
-                      help="warps per block")
-    lint.add_argument("--shared-mem", type=int, default=None,
-                      help="shared memory per block, bytes")
-    lint.add_argument("--global-mem", type=int, default=None,
-                      help="global memory, bytes")
+    _add_device_args(lint)
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable JSON on stdout instead of text")
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also print NOTE-severity diagnostics")
+
+    race = sub.add_parser(
+        "race",
+        help="explore steal/completion interleavings and check "
+             "happens-before + count identity per schedule",
+    )
+    race.add_argument("patterns", nargs="*", default=[],
+                      help="q1..q24, cliqueK, motifs:N (default: q2)")
+    race.add_argument("--graph", default="wiki_vote",
+                      help="built-in dataset name (default: wiki_vote)")
+    race.add_argument("--scale", default="tiny",
+                      help="dataset scale (default: tiny — exploration "
+                           "re-runs the kernel per schedule)")
+    race.add_argument("--labels", type=int, default=0, metavar="L",
+                      help="attach L cyclic labels to each pattern")
+    race.add_argument("--max-schedules", type=int, default=8,
+                      help="interleavings per workload, incl. the "
+                           "canonical one (default: 8)")
+    race.add_argument("--seed", type=int, default=0,
+                      help="base seed for the schedule RNG (default: 0)")
+    race.add_argument("--chunk-size", type=int, default=1,
+                      help="root chunk size (small values = more steals)")
+    _add_device_args(race)
+    race.add_argument("--json", action="store_true",
+                      help="machine-readable JSON on stdout instead of text")
+    race.add_argument("-v", "--verbose", action="store_true",
+                      help="print every schedule outcome, not just violations")
+
     sub.add_parser("rules", help="print the diagnostic rule catalog")
     return p
 
 
-def _config_from_args(args: argparse.Namespace) -> EngineConfig:
+def _config_from_args(args: argparse.Namespace, **extra) -> EngineConfig:
     dev_kw = {}
     if args.blocks is not None:
         dev_kw["num_blocks"] = args.blocks
@@ -141,7 +201,9 @@ def _config_from_args(args: argparse.Namespace) -> EngineConfig:
         dev_kw["shared_mem_per_block"] = args.shared_mem
     if args.global_mem is not None:
         dev_kw["global_mem_bytes"] = args.global_mem
-    cfg_kw = {"device": DeviceConfig(**dev_kw)} if dev_kw else {}
+    cfg_kw = dict(extra)
+    if dev_kw:
+        cfg_kw["device"] = DeviceConfig(**dev_kw)
     if args.unroll is not None:
         cfg_kw["unroll"] = args.unroll
     if args.max_degree is not None:
@@ -149,7 +211,8 @@ def _config_from_args(args: argparse.Namespace) -> EngineConfig:
     if args.stop_level is not None:
         cfg_kw["stop_level"] = args.stop_level
         cfg_kw.setdefault("detect_level", min(args.stop_level, 2))
-    cfg_kw["code_motion"] = not args.no_code_motion
+    if hasattr(args, "no_code_motion"):
+        cfg_kw["code_motion"] = not args.no_code_motion
     return EngineConfig(**cfg_kw)
 
 
@@ -169,6 +232,7 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
     min_sev = Severity.NOTE if args.verbose else Severity.WARNING
     worst = 0
     num_findings = 0
+    reports: list[DiagnosticReport] = []
     for query in queries:
         if args.labels > 0:
             query = _with_cycled_labels(query, args.labels)
@@ -195,25 +259,99 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
                 num_automorphisms=plan.num_automorphisms,
             )
         rep = lint_plan(plan, config, graph, subject=f"plan[{query.name}]")
+        reports.append(rep)
         shown = [d for d in rep if d.severity >= min_sev]
         num_findings += len(shown)
-        if shown or args.verbose:
+        if not args.json and (shown or args.verbose):
             print(rep.render(min_severity=min_sev), file=out)
         if rep.max_severity is not None:
             worst = max(worst, int(rep.max_severity))
-    status = "clean" if worst < int(Severity.ERROR) else "FAILED"
-    print(
-        f"linted {len(queries)} plan(s): {num_findings} finding(s) shown — {status}",
-        file=out,
-    )
-    return 1 if worst >= int(Severity.ERROR) else 0
+    failed = worst >= int(Severity.ERROR)
+    if args.json:
+        doc = {
+            "command": "lint",
+            "status": "failed" if failed else "clean",
+            "num_plans": len(queries),
+            "subjects": [r.to_dict() for r in reports],
+        }
+        print(json.dumps(doc, indent=2), file=out)
+    else:
+        status = "FAILED" if failed else "clean"
+        print(
+            f"linted {len(queries)} plan(s): {num_findings} finding(s) shown — {status}",
+            file=out,
+        )
+    return 1 if failed else 0
+
+
+def _cmd_race(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.graph.datasets import load_dataset
+
+    from .races import explore_schedules
+
+    try:
+        queries = resolve_patterns(args.patterns or ["q2"])
+        if args.max_schedules < 1:
+            raise ValueError("--max-schedules must be >= 1")
+        config = _config_from_args(args, chunk_size=args.chunk_size)
+        graph = load_dataset(args.graph, scale=args.scale,
+                             labeled=args.labels > 0 or None)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    results = []
+    any_violation = False
+    for query in queries:
+        if args.labels > 0:
+            query = _with_cycled_labels(query, args.labels)
+        res = explore_schedules(
+            graph, query,
+            config=config,
+            max_schedules=args.max_schedules,
+            base_seed=args.seed,
+            subject=f"race[{query.name}@{args.graph}/{args.scale}]",
+        )
+        results.append(res)
+        any_violation = any_violation or not res.ok
+        if not args.json:
+            print(res.render(), file=out)
+            if args.verbose:
+                for o in res.outcomes:
+                    print(
+                        f"  schedule {o.schedule_id} (seed {o.seed}): "
+                        f"{o.matches} matches, {o.local_steals} local / "
+                        f"{o.global_steals} global steals, "
+                        f"sig {o.signature & 0xFFFFFFFF:08x}",
+                        file=out,
+                    )
+    if args.json:
+        doc = {
+            "command": "race",
+            "status": "failed" if any_violation else "clean",
+            "graph": args.graph,
+            "scale": args.scale,
+            "max_schedules": args.max_schedules,
+            "workloads": [r.to_dict() for r in results],
+        }
+        print(json.dumps(doc, indent=2), file=out)
+    else:
+        explored = sum(r.num_schedules for r in results)
+        status = "FAILED" if any_violation else "clean"
+        print(
+            f"explored {explored} schedule(s) over {len(results)} "
+            f"workload(s) — {status}",
+            file=out,
+        )
+    return 1 if any_violation else 0
 
 
 def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
     if args.command == "rules":
-        for rule, desc in sorted(RULE_CATALOG.items()):
-            print(f"{rule}  {desc}", file=out)
+        for rule, info in sorted(RULE_REGISTRY.items()):
+            print(f"{rule}  {info.summary}", file=out)
         return 0
+    if args.command == "race":
+        return _cmd_race(args, out)
     return _cmd_lint(args, out)

@@ -8,22 +8,27 @@ and — where the analysis can compute one — a concrete fix hint.
 Diagnostics are collected into a :class:`DiagnosticReport` that the CLI
 renders and tests assert on.
 
-The rule catalog lives in :data:`RULE_CATALOG` (documented in
-``docs/ANALYSIS.md``); rule ids are append-only so downstream suppressions
-stay stable.
+The rule catalog lives in :data:`RULE_REGISTRY` — the **single source
+of truth** for every rule id the repo emits: the CLI's ``rules``
+listing, the ``docs/ANALYSIS.md`` tables, :meth:`DiagnosticReport.add`
+validation and the registry-coverage test all derive from it, so a new
+rule can never be silently omitted from the catalog.  Rule ids are
+append-only so downstream suppressions stay stable.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "Severity",
     "Diagnostic",
     "DiagnosticReport",
     "PlanVerificationError",
+    "RuleInfo",
+    "RULE_REGISTRY",
     "RULE_CATALOG",
 ]
 
@@ -39,39 +44,144 @@ class Severity(enum.IntEnum):
         return self.name.lower()
 
 
-#: rule id -> one-line description.  The verifier owns P* (program
-#: structure), S* (symmetry restrictions) and L* (label filters); the
-#: budget linter owns B*; the runtime sanitizer reports under X* ids.
-RULE_CATALOG: dict[str, str] = {
-    "P100": "plan shape: per-level tables must match the query size",
-    "P101": "every set must be scheduled exactly once, at its recipe's level",
-    "P102": "use-before-def: a REF must point at an already-computed set",
-    "P103": "use-before-def: operands must be matched before a set reads them",
-    "P104": "the set-dependency graph must be acyclic",
-    "P105": "un-lifted invariant op: a code-motioned set sits below its earliest legal level",
-    "P106": "code-motioned programs must be in canonical single-op form",
-    "P107": "candidate-set tags and the per-level candidate table must agree",
-    "P108": "dead set: computed but never consumed",
-    "S201": "restrictions may only reference earlier matching positions",
-    "S202": "restrictions must match the canonical symmetry breaking of the order",
-    "L301": "a candidate set must keep its level's query label",
-    "L302": "an intermediate label filter must cover every consumer's labels",
-    "L303": "per-label set duplication (Fig. 10a) instead of merged multi-label sets",
-    "L304": "label filters are only meaningful on labeled queries",
-    "B401": "per-block shared memory (Csize/iter/uiter + Fig. 9b arrays) overflows",
-    "B402": "per-block shared memory is under pressure (> 50% of capacity)",
-    "B403": "fixed global footprint (graph + candidate stack C) overflows the device",
-    "B404": "neighbor lists longer than max_degree spill to host memory",
-    "B405": "peak live-set report (informational)",
-    "B406": "hub operands reach the adjacency-bitmap threshold but no bitmap index is configured",
-    "B407": "process-executor worker count exceeds the divisible shard/root-chunk supply",
-    "X501": "steal segment duplicated between donor and thief",
-    "X502": "steal dropped or invented candidates",
-    "X503": "steal touched a frame deeper than stop_level",
-    "X504": "frame invariant violated (iter/uiter/level bounds)",
-    "X505": "root-vertex conservation violated",
-    "X506": "match double-counted (or lost) across failure recoveries",
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry for one diagnostic rule.
+
+    ``owner`` names the module that emits the rule, ``category`` the
+    rule family (used to group the CLI/doc listings), ``fix_hint`` a
+    one-line generic remediation rendered in ``docs/ANALYSIS.md`` —
+    individual diagnostics may carry a sharper, computed hint.
+    """
+
+    rule: str
+    summary: str
+    category: str
+    owner: str
+    fix_hint: str
+
+
+def _rules(category: str, owner: str, entries: dict[str, tuple[str, str]]) -> list[RuleInfo]:
+    return [
+        RuleInfo(rule=rid, summary=summary, category=category, owner=owner, fix_hint=hint)
+        for rid, (summary, hint) in entries.items()
+    ]
+
+
+#: The single source of truth for every rule id the repo emits.  The
+#: verifier owns P* (program structure), S* (symmetry restrictions) and
+#: L30x (label filters); the lifetime/aliasing pass owns L305–L308; the
+#: budget linter owns B*; the runtime sanitizer and the happens-before
+#: checker report under X* ids.  Append-only.
+RULE_REGISTRY: dict[str, RuleInfo] = {
+    info.rule: info
+    for group in (
+        _rules("program structure", "repro.analysis.verify", {
+            "P100": ("plan shape: per-level tables must match the query size",
+                     "rebuild the plan; never resize candidate_of_level/sets_at_level by hand"),
+            "P101": ("every set must be scheduled exactly once, at its recipe's level",
+                     "keep sets_at_level consistent with each recipe's level field"),
+            "P102": ("use-before-def: a REF must point at an already-computed set",
+                     "lift the dependency to an earlier level or reorder the schedule"),
+            "P103": ("use-before-def: operands must be matched before a set reads them",
+                     "an op on m[p] may only run at level >= p+1"),
+            "P104": ("the set-dependency graph must be acyclic",
+                     "break the REF cycle; recipes may only reference smaller levels"),
+            "P105": ("un-lifted invariant op: a code-motioned set sits below its earliest "
+                     "legal level",
+                     "rerun code motion so loop-invariant ops hoist to their earliest level"),
+            "P106": ("code-motioned programs must be in canonical single-op form",
+                     "split multi-op chains into one-op recipes before declaring code_motion"),
+            "P107": ("candidate-set tags and the per-level candidate table must agree",
+                     "point candidate_of_level[l] at the recipe tagged is_candidate_for == l"),
+            "P108": ("dead set: computed but never consumed",
+                     "drop the set from the program or wire its consumer back in"),
+        }),
+        _rules("symmetry restrictions", "repro.analysis.verify", {
+            "S201": ("restrictions may only reference earlier matching positions",
+                     "restrict level l against positions < l only"),
+            "S202": ("restrictions must match the canonical symmetry breaking of the order",
+                     "regenerate restrictions from the automorphism group of the order"),
+        }),
+        _rules("label filters", "repro.analysis.verify", {
+            "L301": ("a candidate set must keep its level's query label",
+                     "include the query vertex's label in the candidate set's filter"),
+            "L302": ("an intermediate label filter must cover every consumer's labels",
+                     "widen the shared set's filter to the union of consumer labels"),
+            "L303": ("per-label set duplication (Fig. 10a) instead of merged multi-label sets",
+                     "merge structurally equal per-label sets into one multi-label set (Fig. 10b)"),
+            "L304": ("label filters are only meaningful on labeled queries",
+                     "drop the filter or label the query"),
+        }),
+        _rules("lifetime/aliasing", "repro.analysis.races.lifetime", {
+            "L305": ("slot reused while live: a set is read at a level outside its "
+                     "live_sets_at interval",
+                     "fix the lifetime metadata (level/is_candidate_for) so every reader "
+                     "falls inside the set's live interval"),
+            "L306": ("lifetime inversion: last_use_level disagrees with dependency_edges",
+                     "a REF dependency must be defined no later than — and stay live "
+                     "through — its consumer's level"),
+            "L307": ("fastpath operand memoization aliases a written slot (stale broadcast)",
+                     "schedule a same-level REF dependency before its consumer so the "
+                     "memoized operand reads the freshly written slot"),
+            "L308": ("count-only-leaf eligibility contradicts sanitizer/consumer requirements",
+                     "a leaf candidate set must have no consumers past the leaf; run with "
+                     "sanitize=False or accept materialized leaf frames"),
+        }),
+        _rules("resource budget", "repro.analysis.budget", {
+            "B401": ("per-block shared memory (Csize/iter/uiter + Fig. 9b arrays) overflows",
+                     "lower unroll or warps per block, or raise shared_mem_per_block"),
+            "B402": ("per-block shared memory is under pressure (> 50% of capacity)",
+                     "consider a smaller unroll before scaling the query"),
+            "B403": ("fixed global footprint (graph + candidate stack C) overflows the device",
+                     "lower unroll/max_degree or run on a device with more global memory"),
+            "B404": ("neighbor lists longer than max_degree spill to host memory",
+                     "raise max_degree to the graph's maximum degree"),
+            "B405": ("peak live-set report (informational)", "no action needed"),
+            "B406": ("hub operands reach the adjacency-bitmap threshold but no bitmap "
+                     "index is configured",
+                     "enable the adjacency bitmap index for hub-heavy graphs"),
+            "B407": ("process-executor worker count exceeds the divisible shard/root-chunk "
+                     "supply",
+                     "lower num_workers or increase shard count"),
+        }),
+        _rules("steal protocol (runtime)", "repro.analysis.sanitizer", {
+            "X501": ("steal segment duplicated between donor and thief",
+                     "divide_and_copy must leave donor and thief segments disjoint"),
+            "X502": ("steal dropped or invented candidates",
+                     "donor + thief candidates must partition the pre-steal stack"),
+            "X503": ("steal touched a frame deeper than stop_level",
+                     "only frames at levels <= stop_level are divisible"),
+            "X504": ("frame invariant violated (iter/uiter/level bounds)",
+                     "iter/uiter must stay inside the frame's candidate bounds"),
+            "X505": ("root-vertex conservation violated",
+                     "every issued root must be consumed by exactly one stack"),
+            "X506": ("match double-counted (or lost) across failure recoveries",
+                     "commit each logical root range exactly once; dead launches report 0"),
+        }),
+        _rules("happens-before (concurrency)", "repro.analysis.races.hb", {
+            "X507": ("count committed before its frame's steal is ordered "
+                     "(take not happens-after deposit)",
+                     "synchronize the thief's clock past the deposit before consuming "
+                     "stolen frames (WarpTask._try_take_global sync_to)"),
+            "X508": ("checkpoint captured a frame concurrently donated "
+                     "(capture inside a divide→deposit window)",
+                     "only checkpoint at consistent cuts — never between dividing a "
+                     "stack and depositing the divided work"),
+            "X509": ("shard re-queue races a late original completion (double count)",
+                     "re-queue a range only after its failure is ordered before the "
+                     "re-dispatch, and commit each range once"),
+            "X510": ("worker result absorbed after pool teardown (lost count)",
+                     "collect every worker result before discarding its pool, or "
+                     "re-queue the shard instead of absorbing a post-teardown result"),
+        }),
+    )
+    for info in group
 }
+
+#: rule id -> one-line description (derived view of :data:`RULE_REGISTRY`,
+#: kept for callers that only need the summaries).
+RULE_CATALOG: dict[str, str] = {rid: info.summary for rid, info in RULE_REGISTRY.items()}
 
 
 @dataclass(frozen=True)
@@ -106,6 +216,16 @@ class Diagnostic:
         if self.hint:
             s += f"  (fix: {self.hint})"
         return s
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by the CLI's ``--json`` output)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
 
     def __str__(self) -> str:
         return self.render()
@@ -164,6 +284,18 @@ class DiagnosticReport:
         return max(d.severity for d in self.diagnostics)
 
     # -- output ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: subject, findings, and a severity summary."""
+        return {
+            "subject": self.subject,
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "notes": sum(1 for d in self.diagnostics if d.severity is Severity.NOTE),
+            },
+        }
 
     def render(self, min_severity: Severity = Severity.NOTE) -> str:
         shown = [d for d in self.diagnostics if d.severity >= min_severity]

@@ -1,0 +1,36 @@
+"""Concurrency correctness analyzer (races subpackage).
+
+Three cooperating parts prove the exactly-once counting discipline the
+steal / checkpoint / recovery protocols claim:
+
+* :mod:`.hb` — happens-before checking with vector clocks over the obs
+  event stream (rules X507/X508) and the coordinator protocol log
+  (X509/X510);
+* :mod:`.schedules` — DPOR-lite schedule exploration: re-run a workload
+  under seeded tie-breaking and assert count identity plus zero
+  happens-before findings on every feasible interleaving;
+* :mod:`.lifetime` — static lifetime/aliasing rules L305–L308 on the
+  plan IR, flagging pre-launch the same hazards the dynamic checkers
+  catch at runtime.
+"""
+
+from .events import PROTOCOL_KINDS, TRACE_KINDS, ProtocolEvent, ProtocolLog, trace_events
+from .hb import VectorClock, analyze_run, check_protocol, check_trace_events
+from .lifetime import check_lifetimes
+from .schedules import ScheduleExplorationResult, ScheduleOutcome, explore_schedules
+
+__all__ = [
+    "PROTOCOL_KINDS",
+    "TRACE_KINDS",
+    "ProtocolEvent",
+    "ProtocolLog",
+    "ScheduleExplorationResult",
+    "ScheduleOutcome",
+    "VectorClock",
+    "analyze_run",
+    "check_lifetimes",
+    "check_protocol",
+    "check_trace_events",
+    "explore_schedules",
+    "trace_events",
+]

@@ -1,0 +1,139 @@
+"""Event model for the concurrency analyzer.
+
+Two event sources feed the happens-before checker:
+
+* **Warp-level events** — the PR-4 obs stream: a
+  :class:`~repro.obs.TraceCollector` with ``keep_events=True`` records
+  every chunk grab, steal (divide / deposit / take / loss) and
+  checkpoint as :class:`~repro.obs.TraceEvent` records.  Those hooks are
+  read-only and charge-free, so the checker runs on any traced run
+  without perturbing it.
+* **Coordinator-level events** — a :class:`ProtocolLog` that the shard
+  drivers (:func:`repro.core.multi_gpu.run_multi_gpu`,
+  :func:`repro.parallel.run_shards`) and the recovery ledger
+  (:class:`repro.faults.recovery.RecoveryLedger`) append to when one is
+  installed.  The log is duck-typed at the emission sites (anything
+  with an ``emit(kind, key=..., **data)`` method), so the runtime
+  packages never import the analysis layer.
+
+Coordinator event kinds (:data:`PROTOCOL_KINDS`):
+
+``shard_dispatch``
+    A shard was handed to a device/worker (``key`` = range key).
+``shard_result``
+    The coordinator received a shard's final result
+    (``countable=True/False``).
+``shard_requeue``
+    A shard is being re-queued onto a survivor.
+``ledger_commit`` / ``ledger_failure`` / ``ledger_absorb``
+    The recovery ledger recorded a commit, an observed failure, or
+    mirrored a worker-computed result.
+``pool_teardown``
+    A process pool was discarded (dead/hung worker or shutdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import TraceCollector, TraceEvent
+
+__all__ = [
+    "PROTOCOL_KINDS",
+    "TRACE_KINDS",
+    "ProtocolEvent",
+    "ProtocolLog",
+    "trace_events",
+]
+
+#: warp-level trace kinds the happens-before checker consumes.
+TRACE_KINDS = frozenset({
+    "chunk",
+    "divide",
+    "steal_local",
+    "steal_global_push",
+    "steal_global_take",
+    "steal_lost",
+    "deposit",
+    "checkpoint",
+    "restore",
+    "matches",
+})
+
+#: coordinator-level protocol kinds (see module docstring).
+PROTOCOL_KINDS = frozenset({
+    "shard_dispatch",
+    "shard_result",
+    "shard_requeue",
+    "ledger_commit",
+    "ledger_failure",
+    "ledger_absorb",
+    "pool_teardown",
+})
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One coordinator-side protocol event.
+
+    ``seq`` is the emission order — the coordinator is a single thread,
+    so sequence order *is* its program order; ``key`` identifies the
+    logical root range a shard event concerns (``None`` for pool-level
+    events).
+    """
+
+    seq: int
+    kind: str
+    key: tuple[Any, ...] | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind, "key": self.key, **self.data}
+
+
+class ProtocolLog:
+    """Append-only log of coordinator protocol events.
+
+    Installed optionally on the shard drivers; when absent the drivers
+    emit nothing (zero overhead, mirroring the obs-layer contract).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ProtocolEvent] = []
+
+    def emit(self, kind: str, key: Sequence[Any] | None = None, **data: Any) -> None:
+        if kind not in PROTOCOL_KINDS:
+            raise ValueError(f"unknown protocol event kind {kind!r}")
+        self.events.append(
+            ProtocolEvent(
+                seq=len(self.events),
+                kind=kind,
+                key=tuple(key) if key is not None else None,
+                data=data,
+            )
+        )
+
+    def by_kind(self, kind: str) -> list[ProtocolEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ProtocolEvent]:
+        return iter(self.events)
+
+
+def trace_events(
+    source: "TraceCollector | Sequence[TraceEvent]",
+) -> "list[TraceEvent]":
+    """Normalize an event source into the checker's input list.
+
+    Accepts a :class:`~repro.obs.TraceCollector` (its recorded
+    ``events`` — requires ``keep_events=True``) or a raw event
+    sequence; only the kinds in :data:`TRACE_KINDS` are kept, in their
+    original (single-threaded emission) order.
+    """
+    events = getattr(source, "events", source)
+    return [e for e in events if e.kind in TRACE_KINDS]

@@ -1,0 +1,273 @@
+"""Happens-before checking over traced runs and coordinator logs.
+
+The simulator is a single-threaded discrete-event loop, so the recorded
+event stream is one serialization of a concurrent execution: per-warp
+simulated clocks define the real-time order, and the steal / checkpoint
+/ recovery protocols claim specific ordering edges between warps.  This
+module reconstructs the happens-before relation with **vector clocks**
+(one component per actor: each warp, the root chunk counter, the
+checkpoint chain) and verifies that the claimed edges actually hold:
+
+X507
+    A global take must be ordered *after* its deposit: the thief syncs
+    its clock past the donor's deposit clock before consuming the
+    stolen frames.  A take timestamped before its deposit means counts
+    committed on those frames are not ordered after the donor's
+    division — the double-count window the steal protocol exists to
+    close.
+X508
+    A checkpoint is a consistent cut only when no donation is in
+    flight *within a warp's divide→deposit window*: a capture between
+    ``divide_and_copy`` and the board deposit sees the donor's already
+    divided stack but no board slot, so the donated subtree is lost
+    from (or duplicated by) every resume of that snapshot.
+X509 / X510
+    Coordinator-level ordering over the shard protocol (dispatch /
+    result / re-queue / ledger commit / pool teardown): a re-queue must
+    be ordered after the original's failure, every range commits once,
+    and a result absorbed after its pool's teardown has no provenance.
+
+On a clean run every check passes — the schedule explorer
+(:mod:`repro.analysis.races.schedules`) asserts exactly that across
+many interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..diagnostics import DiagnosticReport, Severity
+from .events import ProtocolLog, trace_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import TraceCollector, TraceEvent
+
+__all__ = ["VectorClock", "analyze_run", "check_protocol", "check_trace_events"]
+
+#: actor key types: a warp, the root chunk counter, the checkpoint chain
+Actor = tuple
+_CHUNKS: Actor = ("chunks",)
+_CKPT: Actor = ("ckpt",)
+
+
+class VectorClock:
+    """A sparse vector clock over dynamically discovered actors."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: dict[Actor, int] | None = None) -> None:
+        self._c: dict[Actor, int] = dict(clocks or {})
+
+    def tick(self, actor: Actor) -> None:
+        self._c[actor] = self._c.get(actor, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for k, v in other._c.items():
+            if v > self._c.get(k, 0):
+                self._c[k] = v
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(v <= other._c.get(k, 0) for k, v in self._c.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return not (self <= other or other <= self)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}:{v}" for k, v in sorted(self._c.items()))
+        return f"VC({items})"
+
+
+def _warp_actor(e: "TraceEvent") -> Actor:
+    return ("w", e.block, e.warp)
+
+
+def check_trace_events(
+    source: "TraceCollector | Sequence[TraceEvent]",
+    subject: str = "trace",
+) -> DiagnosticReport:
+    """Run the warp-level happens-before checks (X507, X508).
+
+    ``source`` is a :class:`~repro.obs.TraceCollector` recorded with
+    ``keep_events=True`` (or its raw event list).  The checker is a
+    pure reader: one linear scan, no kernel state touched.
+    """
+    rep = DiagnosticReport(subject=subject)
+    events = trace_events(source)
+    vcs: dict[Actor, VectorClock] = {}
+    # target block -> FIFO of (deposit ts, deposit VC, donor actor)
+    pending: dict[int, deque[tuple[float, VectorClock, Actor]]] = {}
+    # donor actor -> (divide ts, divide VC): an open divide→deposit window
+    open_donations: dict[Actor, tuple[float, VectorClock]] = {}
+
+    def vc_of(actor: Actor) -> VectorClock:
+        vc = vcs.get(actor)
+        if vc is None:
+            vc = VectorClock()
+            vcs[actor] = vc
+        return vc
+
+    for e in events:
+        actor = _warp_actor(e)
+        vc = vc_of(actor)
+        vc.tick(actor)
+        if e.kind == "chunk":
+            # the root counter is one atomic: successive grabs are
+            # totally ordered through it
+            vc.join(vc_of(_CHUNKS))
+            vcs[_CHUNKS] = vc.copy()
+        elif e.kind == "divide":
+            open_donations[actor] = (e.ts, vc.copy())
+        elif e.kind in ("steal_global_push", "steal_lost"):
+            window = open_donations.pop(actor, None)
+            if e.kind == "steal_global_push":
+                target = int(e.data.get("target_block", -1))
+                dvc = window[1] if window is not None else vc.copy()
+                pending.setdefault(target, deque()).append((e.ts, dvc, actor))
+        elif e.kind == "steal_global_take":
+            queue = pending.get(e.block)
+            if not queue:
+                rep.add(
+                    "X507", Severity.WARNING, f"warp {e.warp}@block{e.block}",
+                    f"global take at t={e.ts:.0f} has no matching deposit in "
+                    "the event stream — ordering cannot be established",
+                    hint="record the full trace (keep_events=True) before checking",
+                )
+            else:
+                dep_ts, dep_vc, donor = queue.popleft()
+                if e.ts < dep_ts:
+                    rep.add(
+                        "X507", Severity.ERROR, f"warp {e.warp}@block{e.block}",
+                        f"global take at t={e.ts:.0f} collected a deposit "
+                        f"pushed at t={dep_ts:.0f} by warp "
+                        f"{donor[2]}@block{donor[1]}: counts committed on the "
+                        "stolen frames are not ordered after the donor's "
+                        "division (double-count window)",
+                        hint="sync the thief's clock to the deposit clock "
+                             "before consuming stolen frames",
+                    )
+                else:
+                    vc.join(dep_vc)
+        elif e.kind == "checkpoint":
+            for donor, (div_ts, div_vc) in open_donations.items():
+                relation = (
+                    "concurrent with" if vc.concurrent_with(div_vc)
+                    else "not ordered after"
+                )
+                rep.add(
+                    "X508", Severity.ERROR, f"warp {e.warp}@block{e.block}",
+                    f"checkpoint at t={e.ts:.0f} is {relation} an open "
+                    f"divide→deposit window of warp {donor[2]}@block{donor[1]} "
+                    f"(divided at t={div_ts:.0f}, not yet deposited): the "
+                    "snapshot captures the divided donor stack without the "
+                    "donated work — a resume loses (or duplicates) the "
+                    "donated subtree",
+                    hint="checkpoint only at consistent cuts, never inside a "
+                         "donation window",
+                )
+            vc.join(vc_of(_CKPT))
+            vcs[_CKPT] = vc.copy()
+        elif e.kind == "restore":
+            vc.join(vc_of(_CKPT))
+        # "matches", "steal_local", "deposit": program-order only
+    return rep
+
+
+def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticReport:
+    """Run the coordinator-level checks (X509, X510) over a protocol log.
+
+    The coordinator is single-threaded, so the log's sequence order is
+    its program order; the races it can commit are against *workers*
+    (a late original completing after its re-queue was dispatched, a
+    pool torn down before its results were collected), which surface
+    as ordering violations in this log.
+    """
+    rep = DiagnosticReport(subject=subject)
+    committed: set[tuple[Any, ...]] = set()
+    failed_seen: set[tuple[Any, ...]] = set()
+    countable_seen: set[tuple[Any, ...]] = set()
+    results_seen: dict[tuple[Any, ...], list[int]] = {}
+    teardowns: list[int] = []
+
+    for e in log:
+        key = e.key
+        loc = f"range {key}" if key is not None else "pool"
+        if e.kind == "shard_dispatch":
+            if key in committed:
+                rep.add(
+                    "X509", Severity.ERROR, loc,
+                    f"shard dispatched at seq {e.seq} for a range already "
+                    "committed — the new execution double-counts it",
+                    hint="never re-dispatch a committed range",
+                )
+        elif e.kind == "shard_result":
+            results_seen.setdefault(key or (), []).append(e.seq)
+            if e.data.get("countable"):
+                countable_seen.add(key or ())
+            else:
+                failed_seen.add(key or ())
+        elif e.kind == "shard_requeue":
+            if (key or ()) in countable_seen or key in committed:
+                rep.add(
+                    "X509", Severity.ERROR, loc,
+                    f"re-queue at seq {e.seq} races a completed original: the "
+                    "range already produced a countable result, so both "
+                    "executions' matches would be summed",
+                    hint="only re-queue ranges whose failure is ordered "
+                         "before the re-dispatch",
+                )
+            elif (key or ()) not in failed_seen:
+                rep.add(
+                    "X509", Severity.ERROR, loc,
+                    f"re-queue at seq {e.seq} issued before any failed result "
+                    "for the range was observed — the original may still "
+                    "complete and commit (double count)",
+                    hint="order the original's failure before re-queueing",
+                )
+        elif e.kind in ("ledger_commit", "ledger_absorb"):
+            countable = e.kind == "ledger_commit" or bool(e.data.get("countable"))
+            if e.kind == "ledger_absorb":
+                prior = [s for s in teardowns if s < e.seq]
+                if prior and not results_seen.get(key or ()):
+                    rep.add(
+                        "X510", Severity.ERROR, loc,
+                        f"result absorbed at seq {e.seq} after a pool teardown "
+                        f"(seq {max(prior)}) with no shard result ever "
+                        "received for the range — the worker's count has no "
+                        "provenance and may be lost or double-collected",
+                        hint="collect worker results before tearing the pool "
+                             "down, or re-queue the shard",
+                    )
+            if countable:
+                if key in committed:
+                    rep.add(
+                        "X509", Severity.ERROR, loc,
+                        f"second commit at seq {e.seq} for an already-"
+                        "committed range — double count",
+                        hint="commit each logical root range exactly once",
+                    )
+                committed.add(key)
+            else:
+                failed_seen.add(key or ())
+        elif e.kind == "ledger_failure":
+            failed_seen.add(key or ())
+        elif e.kind == "pool_teardown":
+            teardowns.append(e.seq)
+    return rep
+
+
+def analyze_run(
+    trace: "TraceCollector | Sequence[TraceEvent] | None" = None,
+    protocol_log: ProtocolLog | None = None,
+    subject: str = "run",
+) -> DiagnosticReport:
+    """Convenience wrapper: all happens-before checks for one run."""
+    rep = DiagnosticReport(subject=subject)
+    if trace is not None:
+        rep.extend(check_trace_events(trace, subject=subject))
+    if protocol_log is not None:
+        rep.extend(check_protocol(protocol_log, subject=subject))
+    return rep

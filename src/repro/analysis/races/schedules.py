@@ -1,0 +1,234 @@
+"""Schedule exploration: DPOR-lite interleaving enumeration.
+
+The discrete-event scheduler always steps the warp with the smallest
+simulated clock, but *equal-clock* warps are happens-before-unordered —
+any of them may legally run next.  The default scheduler breaks those
+ties FIFO; :func:`explore_schedules` re-runs the same workload with
+seeded random tie-breaking (``schedule_seed``), which enumerates
+alternative serializations of exactly the unordered steps while every
+happens-before edge (clock order, steal deposit→take, checkpoint
+chains) is preserved.  That is the DPOR idea restricted to the
+scheduler's one nondeterministic choice point — no state-space graph is
+materialized, so it scales to whole kernel runs.
+
+Every explored schedule must
+
+* reproduce the golden match count (count identity — the exactly-once
+  discipline the steal protocol claims), and
+* pass the runtime steal sanitizer (X501–X506) and the happens-before
+  checker (X507/X508) on its recorded trace.
+
+A violation on *any* schedule is a real protocol bug: the schedule is
+feasible on hardware, the seed reproduces it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..diagnostics import Diagnostic, DiagnosticReport, Severity
+from .hb import check_trace_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import EngineConfig
+    from repro.graph.csr import CSRGraph
+    from repro.pattern.query import QueryGraph
+
+__all__ = ["ScheduleOutcome", "ScheduleExplorationResult", "explore_schedules"]
+
+
+@dataclass
+class ScheduleOutcome:
+    """One explored interleaving of one workload."""
+
+    schedule_id: int
+    seed: int | None          # None = the canonical FIFO schedule
+    matches: int
+    sim_ms: float
+    local_steals: int
+    global_steals: int
+    findings: list[Diagnostic] = field(default_factory=list)
+    signature: int = 0        # hash of the (kind, block, warp) event order
+
+    @property
+    def clean(self) -> bool:
+        return not any(d.severity is Severity.ERROR for d in self.findings)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schedule_id": self.schedule_id,
+            "seed": self.seed,
+            "matches": self.matches,
+            "sim_ms": self.sim_ms,
+            "local_steals": self.local_steals,
+            "global_steals": self.global_steals,
+            "signature": self.signature,
+            "findings": [d.to_dict() for d in self.findings],
+        }
+
+
+@dataclass
+class ScheduleExplorationResult:
+    """Outcome of exploring one workload across many schedules."""
+
+    subject: str
+    golden: int
+    outcomes: list[ScheduleOutcome]
+
+    @property
+    def num_schedules(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def distinct_schedules(self) -> int:
+        """Schedules whose observable event order actually differed."""
+        return len({o.signature for o in self.outcomes})
+
+    @property
+    def violations(self) -> list[Diagnostic]:
+        return [
+            d for o in self.outcomes for d in o.findings
+            if d.severity is Severity.ERROR
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> DiagnosticReport:
+        rep = DiagnosticReport(subject=self.subject)
+        for o in self.outcomes:
+            rep.extend(o.findings)
+        return rep
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "golden": self.golden,
+            "num_schedules": self.num_schedules,
+            "distinct_schedules": self.distinct_schedules,
+            "ok": self.ok,
+            "schedules": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        head = (
+            f"{self.subject}: {self.num_schedules} schedule(s) explored "
+            f"({self.distinct_schedules} distinct), golden count {self.golden}"
+        )
+        if self.ok:
+            return f"{head}: all clean"
+        lines = [f"{head}: {len(self.violations)} violation(s)"]
+        lines += [f"  {d.render()}" for d in self.violations]
+        return "\n".join(lines)
+
+
+def _signature(collector: Any) -> int:
+    """Order-sensitive fingerprint of a run's scheduling-visible events."""
+    sig = tuple(
+        (e.kind, e.block, e.warp)
+        for e in collector.events
+        if e.kind in ("chunk", "steal_local", "steal_global_push",
+                      "steal_global_take", "steal_lost")
+    )
+    return hash(sig)
+
+
+def explore_schedules(
+    graph: "CSRGraph",
+    query: "QueryGraph | Any",
+    config: "EngineConfig | None" = None,
+    max_schedules: int = 16,
+    base_seed: int = 0,
+    golden: int | None = None,
+    subject: str = "",
+) -> ScheduleExplorationResult:
+    """Run ``query`` on ``graph`` under ``max_schedules`` interleavings.
+
+    Schedule 0 is the canonical FIFO schedule (its count becomes the
+    golden reference unless ``golden`` is given); schedules 1..N-1 use
+    seeds ``base_seed``, ``base_seed+1``, …  Every run executes with
+    the steal sanitizer armed and a full event trace, then goes through
+    the happens-before checker; count mismatches are reported as X505
+    (work conservation broken — some subtree was counted twice or
+    lost), sanitizer aborts as their own rule.
+    """
+    from repro.analysis.sanitizer import SanitizerError
+    from repro.core.engine import STMatchEngine
+
+    if max_schedules < 1:
+        raise ValueError("max_schedules must be >= 1")
+    cfg = config if config is not None else _default_config()
+    cfg = cfg.with_(sanitize=True, observe=False)
+    subject = subject or f"race[{getattr(query, 'name', query)!s}]"
+    outcomes: list[ScheduleOutcome] = []
+    gold = golden
+
+    for i in range(max_schedules):
+        seed = None if i == 0 else base_seed + i - 1
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector(keep_events=True)
+        engine = STMatchEngine(graph, cfg)
+        findings: list[Diagnostic] = []
+        matches = -1
+        sim_ms = 0.0
+        local = global_ = 0
+        try:
+            result = engine.run(query, collector=collector, schedule_seed=seed)
+            matches = result.matches
+            sim_ms = result.sim_ms
+            local = result.num_local_steals
+            global_ = result.num_global_steals
+        except SanitizerError as e:
+            rep = DiagnosticReport(subject=subject)
+            rep.add(
+                e.rule, Severity.ERROR, e.where,
+                f"schedule {i} (seed {seed}): {e.message}",
+                hint="replay with schedule_seed to reproduce deterministically",
+            )
+            findings.extend(rep)
+        hb = check_trace_events(collector, subject=subject)
+        findings.extend(hb)
+        if matches >= 0:
+            if gold is None:
+                gold = matches
+            elif matches != gold:
+                rep = DiagnosticReport(subject=subject)
+                rep.add(
+                    "X505", Severity.ERROR, f"schedule {i}",
+                    f"schedule {i} (seed {seed}) counted {matches} matches, "
+                    f"golden is {gold}: a feasible interleaving loses or "
+                    "double-counts work",
+                    hint="replay with schedule_seed to reproduce; audit the "
+                         "steal/checkpoint ordering on the trace",
+                )
+                findings.extend(rep)
+        outcomes.append(ScheduleOutcome(
+            schedule_id=i,
+            seed=seed,
+            matches=matches,
+            sim_ms=sim_ms,
+            local_steals=local,
+            global_steals=global_,
+            findings=findings,
+            signature=_signature(collector),
+        ))
+    return ScheduleExplorationResult(
+        subject=subject,
+        golden=gold if gold is not None else -1,
+        outcomes=outcomes,
+    )
+
+
+def _default_config() -> "EngineConfig":
+    """A small steal-heavy shape: few warps, tiny chunks, so both steal
+    levels actually fire and ties are frequent enough to permute."""
+    from repro.core.config import EngineConfig
+    from repro.virtgpu.device import DeviceConfig
+
+    return EngineConfig(
+        device=DeviceConfig(num_blocks=2, warps_per_block=2),
+        chunk_size=1,
+    )

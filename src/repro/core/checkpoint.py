@@ -93,6 +93,13 @@ class KernelSnapshot:
     def live_stacks(self) -> int:
         return sum(1 for frames in self.task_frames if frames)
 
+    @property
+    def in_flight(self) -> int:
+        """Deposited-but-uncollected ``global_stks`` stacks captured in
+        the cut.  A consistent snapshot owns this work: losing it on
+        resume is exactly the X508 hazard the race analyzer audits."""
+        return sum(1 for pw in self.board_slots if pw is not None)
+
     # -- wire format -------------------------------------------------------
 
     def to_bytes(self) -> bytes:

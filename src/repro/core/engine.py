@@ -118,6 +118,7 @@ class STMatchEngine:
         device: VirtualDevice | None = None,
         resume_from: KernelSnapshot | None = None,
         collector: object | None = None,
+        schedule_seed: int | None = None,
     ) -> RunResult:
         """Match ``query`` (or a prebuilt plan); returns a RunResult.
 
@@ -132,6 +133,11 @@ class STMatchEngine:
         resulting schema-versioned report lands in ``result.report``.
         Hooks are read-only and charge-free, so observed runs are
         byte-identical to unobserved ones.
+
+        ``schedule_seed`` perturbs the scheduler's equal-clock
+        tie-breaking (see :func:`repro.core.kernel.run_kernel`): any
+        seed must produce the same count, which the race analyzer's
+        schedule explorer asserts.
 
         ``resume_from`` continues a checkpointed launch (see
         ``EngineConfig.checkpoint_interval``) instead of starting over.
@@ -193,6 +199,7 @@ class STMatchEngine:
                 resume_from=resume_from,
                 checkpoint_interval=cfg.checkpoint_interval,
                 tracer=tracer,
+                schedule_seed=schedule_seed,
             )
         except KernelInterrupted as e:
             # the launch died mid-flight: report the failure with the

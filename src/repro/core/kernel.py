@@ -188,6 +188,11 @@ class KernelState:
         self.board.idle = [set(s) for s in snap.board_idle]
         self.board.slots = [_clone_pending(pw) for pw in snap.board_slots]
         self.active_count = sum(1 for t in self.tasks if t.stack.depth > 0)
+        if self.tracer is not None:
+            self.tracer.on_restore(
+                len(self.tasks), snap.chunks_served, snap.matches,
+                clock=max(snap.warp_clocks, default=0.0),
+            )
 
     def add_matches(self, n: int) -> None:
         self.matches += n
@@ -369,6 +374,8 @@ class WarpTask:
         work = divide_and_copy(self.stack, cfg.stop_level)
         if work.empty:
             return
+        if st.tracer is not None:
+            st.tracer.on_divide(warp, work.copied_elems)
         warp.charge(warp.cost.steal_cycles(work.copied_elems, local=False))
         if not st.board.deposit(block, work, warp.clock, warp.warp_id,
                                 pusher_block=warp.block_id):
@@ -493,6 +500,7 @@ def run_kernel(
     resume_from: KernelSnapshot | None = None,
     checkpoint_interval: int | None = None,
     tracer: object | None = None,
+    schedule_seed: int | None = None,
 ) -> KernelState:
     """Launch the kernel: one warp task per device warp, one launch total.
 
@@ -508,6 +516,13 @@ def run_kernel(
     cycle-identical to the uninterrupted run.  If the device carries a
     :class:`~repro.faults.FaultInjector`, scheduled faults abort the
     launch with :class:`KernelInterrupted` carrying the last snapshot.
+
+    ``schedule_seed`` perturbs the scheduler's tie-breaking between
+    equal-clock warps with a seeded RNG.  Only happens-before-unordered
+    steps are reordered, so any seed must reproduce the same match
+    count — the property the schedule explorer
+    (:func:`repro.analysis.races.explore_schedules`) asserts.  ``None``
+    (the default) keeps the canonical FIFO order.
     """
     if root_range is not None and root_partition is not None:
         raise ValueError("root_range and root_partition are mutually exclusive")
@@ -567,12 +582,19 @@ def run_kernel(
         for w in device.warps:
             w.charge(w.cost.kernel_launch, busy=False)
     runnable = [t for t in state.tasks if t.runnable]
+    tiebreak = None
+    if schedule_seed is not None:
+        import numpy as np
+
+        rng = np.random.default_rng(schedule_seed)
+        tiebreak = lambda _t: float(rng.random())  # noqa: E731
     sched: EventScheduler[WarpTask] = EventScheduler(
         runnable,
         clock_of=lambda t: t.clock,
         step=lambda t: t.step(),
         watchdog=device.check_faults if injector is not None else None,
         tracer=tracer,
+        tiebreak=tiebreak,
     )
     try:
         sched.run()

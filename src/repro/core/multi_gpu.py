@@ -134,6 +134,7 @@ def run_multi_gpu(
     symmetry_breaking: bool = True,
     fault_plan=None,
     max_retries: int = 3,
+    protocol_log: object | None = None,
 ) -> MultiGpuResult:
     """Run one query across ``num_devices`` virtual GPUs.
 
@@ -155,6 +156,12 @@ def run_multi_gpu(
     over a shared-memory copy of the graph — result-identical to the
     serial loop; a worker that dies or times out surfaces as a FAILED
     shard and is re-queued onto the survivors like any other failure.
+
+    ``protocol_log`` (duck-typed: an ``emit(kind, key=..., **data)``
+    method, e.g. :class:`repro.analysis.races.ProtocolLog`) records
+    every shard dispatch / result / re-queue and pool teardown so the
+    happens-before checker can audit the coordinator's ordering (rules
+    X509/X510); ``None`` records nothing and costs nothing.
     """
     if num_devices < 1:
         raise ValueError("need at least one device")
@@ -176,7 +183,11 @@ def run_multi_gpu(
     if faulted:
         from repro.faults.recovery import RecoveryLedger, run_with_recovery
 
-        ledger = RecoveryLedger()
+        ledger = RecoveryLedger(log=protocol_log)
+
+    def note(kind: str, key: tuple, **data) -> None:
+        if protocol_log is not None:
+            protocol_log.emit(kind, key=key, **data)
 
     # round 1: every shard on its own device replica
     results: list[RunResult] = []
@@ -189,9 +200,15 @@ def run_multi_gpu(
                       max_retries=max_retries)
             for d in range(num_devices)
         ]
+        for d in range(num_devices):
+            note("shard_dispatch", (d, num_devices), device_id=d)
         results = run_shards(graph, plan, config, specs,
                              num_workers=num_workers, fault_plan=fault_plan,
-                             timeout_s=config.worker_timeout_s)
+                             timeout_s=config.worker_timeout_s,
+                             protocol_log=protocol_log)
+        for d, res in enumerate(results):
+            note("shard_result", (d, num_devices), countable=res.countable,
+                 status=str(res.status))
         if faulted:
             # mirror the workers' final per-shard outcomes into the
             # shared ledger (workers ran their own X506 checks locally)
@@ -199,11 +216,16 @@ def run_multi_gpu(
                 ledger.absorb((d, num_devices), res)
     elif not faulted:
         for d in range(num_devices):
+            note("shard_dispatch", (d, num_devices), device_id=d)
             dev = VirtualDevice(config.device, device_id=d)
             results.append(engine.run(plan, root_partition=(d, num_devices),
                                       device=dev))
+            note("shard_result", (d, num_devices),
+                 countable=results[-1].countable,
+                 status=str(results[-1].status))
     else:
         for d in range(num_devices):
+            note("shard_dispatch", (d, num_devices), device_id=d)
             results.append(run_with_recovery(
                 graph, plan, config,
                 fault_plan=fault_plan,
@@ -213,6 +235,9 @@ def run_multi_gpu(
                 ledger=ledger,
                 range_key=(d, num_devices),
             ))
+            note("shard_result", (d, num_devices),
+                 countable=results[-1].countable,
+                 status=str(results[-1].status))
     for d in range(num_devices):
         timelines[d] += results[d].sim_ms
 
@@ -240,16 +265,26 @@ def run_multi_gpu(
                       max_retries=max_retries)
             for i, d in enumerate(lost)
         ]
+        for spec in rspecs:
+            note("shard_requeue", (spec.index, num_devices),
+                 device_id=spec.device_id)
+            note("shard_dispatch", (spec.index, num_devices),
+                 device_id=spec.device_id)
         if use_pool:
             rres = run_shards(graph, plan, config, rspecs,
                               num_workers=num_workers, fault_plan=fault_plan,
-                              timeout_s=config.worker_timeout_s)
+                              timeout_s=config.worker_timeout_s,
+                              protocol_log=protocol_log)
+            for spec, res in zip(rspecs, rres):
+                note("shard_result", (spec.index, num_devices),
+                     countable=res.countable, status=str(res.status))
             if faulted:
                 for spec, res in zip(rspecs, rres):
                     ledger.absorb(spec.range_key, res)
         else:
-            rres = [
-                run_with_recovery(
+            rres = []
+            for spec in rspecs:
+                rres.append(run_with_recovery(
                     graph, plan, config,
                     fault_plan=fault_plan,
                     device_id=spec.device_id,
@@ -258,9 +293,9 @@ def run_multi_gpu(
                     ledger=ledger,
                     range_key=spec.range_key,
                     attempt_offset=spec.attempt_offset,
-                )
-                for spec in rspecs
-            ]
+                ))
+                note("shard_result", (spec.index, num_devices),
+                     countable=rres[-1].countable, status=str(rres[-1].status))
         for spec, res in zip(rspecs, rres):
             num_requeued += 1
             timelines[spec.device_id] += res.sim_ms

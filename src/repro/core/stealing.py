@@ -136,10 +136,16 @@ class GlobalStealBoard:
         if self.injector is not None and self.injector.drop_steal_message():
             self.num_lost_messages += 1
             if self.tracer is not None:
-                self.tracer.on_deposit(block_id, work.copied_elems, lost=True)
+                self.tracer.on_deposit(block_id, work.copied_elems, lost=True,
+                                       pusher_clock=pusher_clock,
+                                       pusher_warp=pusher_warp,
+                                       pusher_block=pusher_block)
             return False
         if self.tracer is not None:
-            self.tracer.on_deposit(block_id, work.copied_elems, lost=False)
+            self.tracer.on_deposit(block_id, work.copied_elems, lost=False,
+                                   pusher_clock=pusher_clock,
+                                   pusher_warp=pusher_warp,
+                                   pusher_block=pusher_block)
         self.slots[block_id] = PendingWork(
             work=work,
             pusher_clock=pusher_clock,

@@ -32,7 +32,7 @@ class InjectedFault(RuntimeError):
             f"{at_cycle:.0f} (attempt {attempt})"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type["InjectedFault"], tuple[int, float, int]]:
         # BaseException's default reduce replays ``cls(*args)`` with the
         # formatted message only, which does not match this constructor;
         # rebuild from the structured fields so faults survive the trip

@@ -29,6 +29,7 @@ chaos sweep asserts this per seed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Protocol
 
 from repro.analysis.sanitizer import SanitizerError
 from repro.core.config import EngineConfig
@@ -47,6 +48,17 @@ __all__ = ["RecoveryLedger", "run_with_recovery"]
 RangeKey = tuple  # (owner, num_owners) shard or (start, end) slice
 
 
+class SupportsEmit(Protocol):
+    """Structural type of a protocol log (``repro.analysis.races``).
+
+    Runtime packages stay duck-typed — they never import the analysis
+    layer — but the structural protocol lets strict type checking see
+    the ``emit`` contract both sides agree on.
+    """
+
+    def emit(self, kind: str, key: tuple | None = None, **data: Any) -> Any: ...
+
+
 @dataclass
 class RecoveryLedger:
     """X506 bookkeeping: one commit per logical root range, ever.
@@ -59,10 +71,24 @@ class RecoveryLedger:
     never from a dead launch's accumulator.
     """
 
-    committed: dict = field(default_factory=dict)
+    committed: dict[RangeKey, int] = field(default_factory=dict)
     num_failures: int = 0
+    log: SupportsEmit | None = None
+    #   optional protocol log (duck-typed: anything with an
+    #   ``emit(kind, key=..., **data)`` method, e.g.
+    #   repro.analysis.races.ProtocolLog).  Every commit / failure /
+    #   absorb is recorded so the happens-before checker can audit the
+    #   coordinator's ordering (rules X509/X510); None emits nothing.
+
+    def _note(self, kind: str, key: RangeKey, **data: Any) -> None:
+        if self.log is not None:
+            self.log.emit(kind, key=key, **data)
 
     def commit(self, key: RangeKey, result: RunResult) -> None:
+        self._note("ledger_commit", key, matches=result.matches)
+        self._commit(key, result)
+
+    def _commit(self, key: RangeKey, result: RunResult) -> None:
         if key in self.committed:
             raise SanitizerError(
                 "X506", f"root range {key}",
@@ -74,6 +100,10 @@ class RecoveryLedger:
         self.committed[key] = result.matches
 
     def observe_failure(self, key: RangeKey, result: RunResult) -> None:
+        self._note("ledger_failure", key, status=str(result.status))
+        self._observe_failure(key, result)
+
+    def _observe_failure(self, key: RangeKey, result: RunResult) -> None:
         self.num_failures += 1
         if result.matches:
             raise SanitizerError(
@@ -102,10 +132,14 @@ class RecoveryLedger:
         partial count was already zeroed by the worker-side checks, so
         both X506 halves keep firing across process boundaries.
         """
+        self._note("ledger_absorb", key, countable=result.countable,
+                   matches=result.matches)
+        # the absorb *is* the logical commit/failure — bookkeeping only,
+        # no second protocol event for the same coordinator action
         if result.countable:
-            self.commit(key, result)
+            self._commit(key, result)
         else:
-            self.observe_failure(key, result)
+            self._observe_failure(key, result)
 
     @property
     def total_matches(self) -> int:

@@ -181,6 +181,7 @@ class TraceCollector:
         self.board_takes = 0
         self.mark_idle_events = 0
         self.checkpoints = 0
+        self.restores = 0
         self.scheduler_steps = 0
         self.kernel_launches = 0
         # "current frame" context: level being entered by the warp the
@@ -355,13 +356,51 @@ class TraceCollector:
         self._emit("checkpoint", warp, chunks_served=chunks_served,
                    matches=matches)
 
+    def on_restore(self, num_warps: int, chunks_served: int, matches: int,
+                   clock: float = 0.0) -> None:
+        """A kernel state was rebuilt from a snapshot (resume)."""
+        self.restores += 1
+        if self.keep_events:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+            else:
+                self.events.append(TraceEvent(
+                    kind="restore", ts=clock, block=-1, warp=-1,
+                    data={"num_warps": num_warps,
+                          "chunks_served": chunks_served,
+                          "matches": matches},
+                ))
+
+    def on_divide(self, warp: Any, copied_elems: int) -> None:
+        """A donor divided its stack for a global push (the start of the
+        divide→deposit window the happens-before checker audits)."""
+        self._emit("divide", warp, elems=copied_elems)
+
     # -- steal-board hooks (repro.core.stealing) ---------------------------
 
-    def on_deposit(self, block_id: int, copied_elems: int, lost: bool) -> None:
-        """A deposit *attempt* on ``global_stks[block_id]``."""
+    def on_deposit(self, block_id: int, copied_elems: int, lost: bool,
+                   pusher_clock: float = 0.0, pusher_warp: int = -1,
+                   pusher_block: int = -1) -> None:
+        """A deposit *attempt* on ``global_stks[block_id]``.
+
+        Board-level, so the event is synthesized from the pusher's
+        identity rather than a warp object; its timestamp is the
+        donor's clock at deposit time — the happens-before edge the
+        matching ``steal_global_take`` must be ordered after.
+        """
         self.global_push_attempts += 1
         if lost:
             self.global_push_lost += 1
+        if self.keep_events:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+            else:
+                self.events.append(TraceEvent(
+                    kind="deposit", ts=pusher_clock, block=pusher_block,
+                    warp=pusher_warp,
+                    data={"target_block": block_id, "elems": copied_elems,
+                          "lost": lost},
+                ))
 
     def on_board_take(self, block_id: int) -> None:
         self.board_takes += 1

@@ -57,6 +57,7 @@ from .sharedgraph import SharedGraphHandle, attach_graph, export_graph
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import EngineConfig
     from repro.faults.plan import FaultPlan
+    from repro.faults.recovery import SupportsEmit
     from repro.graph.csr import CSRGraph
     from repro.pattern.plan import MatchingPlan
 
@@ -225,6 +226,7 @@ def run_shards(
     num_workers: int,
     fault_plan: "FaultPlan | None" = None,
     timeout_s: float | None = None,
+    protocol_log: "SupportsEmit | None" = None,
 ) -> list[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
@@ -235,7 +237,16 @@ def run_shards(
     ``timeout_s``) come back as ``FAILED`` results with a non-empty
     ``detail``; errors raised *by the shard itself* (e.g. a
     ``SanitizerError``) propagate, exactly as serial execution would.
+
+    ``protocol_log`` (duck-typed ``emit``) records every pool teardown
+    — the event the happens-before checker orders worker-result absorbs
+    against (rule X510); ``None`` records nothing.
     """
+
+    def note_teardown(reason: str) -> None:
+        if protocol_log is not None:
+            protocol_log.emit("pool_teardown", reason=reason)
+
     if not specs:
         return []
     if num_workers <= 1 or len(specs) <= 1:
@@ -252,6 +263,7 @@ def run_shards(
         # the previous batch poisoned this pool before we could discard
         # it (e.g. an atexit race); retry once on a fresh one
         _discard_pool(workers)
+        note_teardown("stale pool poisoned by a previous batch")
         pool = _pool(workers)
         futures = [
             pool.submit(_worker_shard, handle, plan, config, s, fault_plan)
@@ -290,6 +302,7 @@ def run_shards(
         # a dead/hung worker poisons the whole pool; replace it so the
         # caller's re-queue round (and the next batch) start clean
         _discard_pool(workers)
+        note_teardown("dead or timed-out worker poisoned the pool")
     if pool_deaths:
         # isolation replay: ONE dead worker breaks every pending future,
         # which would smear FAILED over innocent shards and leave the

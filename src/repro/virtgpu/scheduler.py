@@ -42,6 +42,12 @@ class EventScheduler(Generic[T]):
         Returns an entity's current simulated clock.
     step:
         Advances an entity by one unit of work and reports its state.
+    tiebreak:
+        Optional key deciding the order of *equal-clock* entities.  The
+        default (``None``) keeps insertion order (FIFO), which makes
+        runs deterministic; the schedule explorer supplies a seeded
+        random key to enumerate alternative — but equally serializable —
+        interleavings of happens-before-unordered steps.
     """
 
     def __init__(
@@ -51,12 +57,14 @@ class EventScheduler(Generic[T]):
         step: Callable[[T], StepResult],
         watchdog: Callable[[float], None] | None = None,
         tracer: object | None = None,
+        tiebreak: Callable[[T], float] | None = None,
     ) -> None:
         self._clock_of = clock_of
         self._step = step
         self._watchdog = watchdog
         self._tracer = tracer
-        self._heap: list[tuple[float, int, T]] = []
+        self._tiebreak = tiebreak
+        self._heap: list[tuple[float, float, int, T]] = []
         self._seq = 0
         self._blocked: set[T] = set()
         self._done: set[T] = set()
@@ -65,7 +73,8 @@ class EventScheduler(Generic[T]):
             self._push(e)
 
     def _push(self, e: T) -> None:
-        heapq.heappush(self._heap, (self._clock_of(e), self._seq, e))
+        key = 0.0 if self._tiebreak is None else self._tiebreak(e)
+        heapq.heappush(self._heap, (self._clock_of(e), key, self._seq, e))
         self._seq += 1
 
     def wake(self, e: T, at_clock: float | None = None) -> None:
@@ -87,7 +96,7 @@ class EventScheduler(Generic[T]):
         while self._heap:
             if max_steps is not None and steps >= max_steps:
                 break
-            clock, _, e = heapq.heappop(self._heap)
+            clock, _, _, e = heapq.heappop(self._heap)
             if e in self._blocked or e in self._done:
                 continue  # stale heap entry
             if clock != self._clock_of(e):

@@ -33,13 +33,23 @@ def test_pyproject_lint_config_is_well_formed():
     mypy = cfg["tool"]["mypy"]
     assert mypy["mypy_path"] == "src"
     overrides = cfg["tool"]["mypy"]["overrides"]
-    for module in ("repro.analysis.*", "repro.obs.*"):
+    for module in ("repro.analysis.*", "repro.obs.*", "repro.parallel.*", "repro.faults.*"):
         strict = [o for o in overrides if o["module"] == module]
         assert strict and strict[0]["strict"] is True, module
+    # strict packages must not sit in the ruff legacy-baseline ignores
+    legacy = cfg["tool"]["ruff"]["lint"]["per-file-ignores"]
+    for path in ("src/repro/analysis/*", "src/repro/obs/*",
+                 "src/repro/parallel/*", "src/repro/faults/*"):
+        assert path not in legacy, path
+    markers = cfg["tool"]["pytest"]["ini_options"]["markers"]
+    assert any(m.startswith("race:") for m in markers)
 
 
 @pytest.mark.skipif(not has_module("ruff"), reason="ruff not installed ([lint] extra)")
-@pytest.mark.parametrize("package", ["src/repro/analysis", "src/repro/obs"])
+@pytest.mark.parametrize(
+    "package",
+    ["src/repro/analysis", "src/repro/obs", "src/repro/parallel", "src/repro/faults"],
+)
 def test_ruff_clean_on_strict_packages(package):
     proc = subprocess.run(
         [sys.executable, "-m", "ruff", "check", package],
@@ -49,7 +59,9 @@ def test_ruff_clean_on_strict_packages(package):
 
 
 @pytest.mark.skipif(not has_module("mypy"), reason="mypy not installed ([lint] extra)")
-@pytest.mark.parametrize("package", ["repro.analysis", "repro.obs"])
+@pytest.mark.parametrize(
+    "package", ["repro.analysis", "repro.obs", "repro.parallel", "repro.faults"]
+)
 def test_mypy_clean_on_strict_packages(package):
     proc = subprocess.run(
         [sys.executable, "-m", "mypy", "-p", package],

@@ -1,0 +1,152 @@
+"""GlobalStealBoard edge cases (Sec. V-B board semantics).
+
+Covers the corners the kernel path rarely hits: takes on an empty or
+already-drained board, the own-block exclusion in the push-target scan,
+idle bookkeeping after a block-wide clear, and work conservation when
+the fault injector drops a push message in flight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.stack import Frame, StolenWork
+from repro.core.stealing import GlobalStealBoard, PendingWork
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.recovery import run_with_recovery
+from repro.graph.generators import rmat
+from repro.pattern.motifs import QUERIES
+from repro.virtgpu.device import DeviceConfig
+
+
+def board(num_blocks: int = 3, warps: int = 2) -> GlobalStealBoard:
+    return GlobalStealBoard(num_blocks=num_blocks, warps_per_block=warps)
+
+
+def some_work(elems: int = 4) -> StolenWork:
+    frame = Frame(level=0,
+                  slot_vertices=np.asarray([-1], dtype=np.int64),
+                  cand=[np.arange(elems, dtype=np.int64)])
+    return StolenWork(frames=[frame], copied_elems=elems)
+
+
+class DropFirst:
+    """Injector stub: drops the first N push messages, then delivers."""
+
+    def __init__(self, n: int = 1) -> None:
+        self.n = n
+
+    def drop_steal_message(self) -> bool:
+        if self.n > 0:
+            self.n -= 1
+            return True
+        return False
+
+
+# -- take on empty / drained -----------------------------------------------
+
+
+def test_take_on_empty_board_returns_none():
+    b = board()
+    assert b.take(0) is None
+    assert not b.has_pending
+
+
+def test_take_drains_the_slot():
+    b = board()
+    assert b.deposit(1, some_work(), pusher_clock=5.0, pusher_warp=0,
+                     pusher_block=0)
+    pw = b.take(1)
+    assert isinstance(pw, PendingWork)
+    assert pw.pusher_clock == 5.0 and pw.pusher_warp == 0 and pw.pusher_block == 0
+    assert b.take(1) is None  # drained: a second take must not re-deliver
+    assert not b.has_pending
+
+
+def test_double_deposit_into_occupied_slot_raises():
+    b = board()
+    assert b.deposit(1, some_work(), pusher_clock=1.0, pusher_warp=0)
+    with pytest.raises(ValueError):
+        b.deposit(1, some_work(), pusher_clock=2.0, pusher_warp=1)
+
+
+# -- find_idle_block --------------------------------------------------------
+
+
+def test_find_idle_block_excludes_own_block():
+    b = board(num_blocks=2)
+    for w in range(b.warps_per_block):
+        b.mark_idle(0, w)
+    assert b.block_fully_idle(0)
+    # block 0 is the only fully idle block, but it is the donor's own
+    assert b.find_idle_block(exclude_block=0) is None
+    assert b.find_idle_block(exclude_block=1) == 0
+
+
+def test_find_idle_block_needs_full_idleness_and_empty_slot():
+    b = board(num_blocks=3)
+    b.mark_idle(1, 0)  # one of two warps idle: not a push target yet
+    assert b.find_idle_block(exclude_block=0) is None
+    b.mark_idle(1, 1)
+    assert b.find_idle_block(exclude_block=0) == 1
+    assert b.deposit(1, some_work(), pusher_clock=1.0, pusher_warp=0)
+    # slot occupied: the scan must skip it even though the block is idle
+    assert b.find_idle_block(exclude_block=0) is None
+    for w in range(2):
+        b.mark_idle(2, w)
+    assert b.find_idle_block(exclude_block=0) == 2
+
+
+# -- idle bookkeeping -------------------------------------------------------
+
+
+def test_clear_idle_with_none_clears_the_whole_block():
+    b = board(num_blocks=2)
+    b.mark_idle(0, 0)
+    b.mark_idle(0, 1)
+    b.mark_idle(1, 0)
+    assert b.num_idle_warps == 3
+    b.clear_idle(0, warp_id=None)
+    assert not b.block_fully_idle(0)
+    assert b.num_idle_warps == 1  # the other block's bookkeeping survives
+    b.clear_idle(1, warp_id=0)
+    assert b.num_idle_warps == 0
+
+
+def test_clear_idle_of_unknown_warp_is_a_noop():
+    b = board()
+    b.mark_idle(0, 0)
+    b.clear_idle(0, warp_id=7)  # never marked: discard, not KeyError
+    assert b.num_idle_warps == 1
+
+
+# -- deposit-after-loss conservation ---------------------------------------
+
+
+def test_deposit_after_loss_keeps_slot_empty_and_counts_the_loss():
+    b = board()
+    b.injector = DropFirst(1)
+    assert b.deposit(1, some_work(), pusher_clock=1.0, pusher_warp=0) is False
+    assert b.num_lost_messages == 1
+    assert not b.has_pending and b.slots[1] is None
+    # the retry after the loss lands normally
+    assert b.deposit(1, some_work(), pusher_clock=2.0, pusher_warp=0) is True
+    assert b.has_pending
+    assert b.take(1).pusher_clock == 2.0
+
+
+def test_injected_steal_loss_conserves_the_count_end_to_end():
+    """A dropped push message means the donor re-absorbs the divided
+    work — the match count must equal the loss-free run exactly."""
+    g = rmat(7, 4, seed=5)
+    cfg = EngineConfig(device=DeviceConfig(num_blocks=3, warps_per_block=1),
+                       chunk_size=1, local_steal=False, sanitize=True)
+    clean = run_with_recovery(g, QUERIES["q2"], cfg)
+    fp = FaultPlan(events=(
+        FaultEvent(FaultKind.STEAL_LOSS, device=0, attempt=0, count=2),
+    ))
+    lossy = run_with_recovery(g, QUERIES["q2"], cfg, fault_plan=fp)
+    assert lossy.countable
+    assert lossy.matches == clean.matches
