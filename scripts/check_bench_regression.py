@@ -20,6 +20,14 @@ Three modes:
   ``--min-profile-speedup`` (default 1.0 — optimizations must never
   make a query slower than the naive rung).
 
+* ``check_bench_regression.py --codegen BENCH_codegen.json`` —
+  validate a ``python -m repro.bench codegen`` payload: every cell must
+  report byte-identical matches and cycles between the interpreted fast
+  path and the compiled tier, and the geomean speedup over the *dense*
+  cells must reach ``--min-codegen-speedup`` (default 2.0, the
+  acceptance floor — sparse stand-in rows are informational because the
+  shared kernel loop bounds their ratio).
+
 * ``check_bench_regression.py --parallel BENCH_parallel.json`` —
   validate a ``python -m repro.bench parallel`` payload: every
   (workload, worker-count) point must report byte-identical matches
@@ -141,6 +149,37 @@ def check_profile(path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_codegen(path: str, min_speedup: float) -> list[str]:
+    """Validate a ``repro.bench codegen`` payload (identity + dense floor)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if payload.get("experiment") != "codegen" or "workloads" not in payload:
+        print(f"error: {path} is not a codegen bench payload", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    dense = 0
+    for w in payload["workloads"]:
+        if not w.get("identical_matches", False):
+            problems.append(f"{w['key']}: codegen changed the match count")
+        if not w.get("identical_cycles", False):
+            problems.append(f"{w['key']}: codegen changed the simulated cycles")
+        dense += bool(w.get("dense"))
+    if not dense:
+        problems.append("payload has no dense cells — nothing feeds the gate")
+    gm = payload.get("geomean_speedup_dense")
+    if gm is None:
+        problems.append("payload has no geomean_speedup_dense")
+    elif gm < min_speedup:
+        problems.append(
+            f"dense geomean speedup {gm}× is below the {min_speedup}× floor"
+        )
+    return problems
+
+
 def check_parallel(path: str, min_speedup: float) -> list[str]:
     """Validate a ``repro.bench parallel`` payload (identity + scaling)."""
     try:
@@ -194,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--min-profile-speedup", type=float, default=1.0,
                    help="profile mode: required full-over-baseline speedup "
                         "per query (default 1.0)")
+    p.add_argument("--codegen", action="store_true",
+                   help="treat the file as a BENCH_codegen.json payload: "
+                        "check interp/codegen identity per cell and the "
+                        "dense-cell geomean speedup floor")
+    p.add_argument("--min-codegen-speedup", type=float, default=2.0,
+                   help="codegen mode: required geomean speedup over the "
+                        "dense cells (default 2.0)")
     p.add_argument("--parallel", action="store_true",
                    help="treat the file as a BENCH_parallel.json payload: "
                         "check serial/process identity per point and the "
@@ -204,6 +250,23 @@ def main(argv: list[str] | None = None) -> int:
                         "workers on a >= 4-core host (default 2.5); scaled "
                         "down by min(4, cpu_count)/4 on smaller hosts")
     args = p.parse_args(argv)
+
+    if args.codegen:
+        if args.current is not None:
+            p.error("--codegen takes a single file")
+        problems = check_codegen(args.baseline, args.min_codegen_speedup)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        ndense = sum(bool(w.get("dense")) for w in payload["workloads"])
+        print(f"ok: codegen payload valid, {len(payload['workloads'])} "
+              f"cell(s) ({ndense} dense), dense geomean speedup "
+              f"{payload.get('geomean_speedup_dense')}×, identity "
+              f"invariants hold")
+        return 0
 
     if args.parallel:
         if args.current is not None:

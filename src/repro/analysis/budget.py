@@ -237,6 +237,27 @@ def lint_budget(
                 hint=f"lower num_workers toward {max(1, num_chunks)} or "
                 "shrink chunk_size so every worker owns at least one chunk",
             )
+    if isinstance(plan, MatchingPlan):
+        try:
+            from repro.codegen.emit import (
+                SOURCE_BUDGET_BYTES,
+                estimate_source_size,
+            )
+
+            src_bytes = estimate_source_size(plan, config)
+        except Exception:  # pragma: no cover - codegen tier unavailable
+            src_bytes = None
+        if src_bytes is not None and src_bytes > SOURCE_BUDGET_BYTES:
+            rep.add(
+                "B408", Severity.WARNING, "config.codegen",
+                f"the compiled-tier kernel for this plan would be "
+                f"{src_bytes} B of generated source, past the "
+                f"{SOURCE_BUDGET_BYTES} B budget: compilation dominates "
+                "the first run and large modules crowd the code cache",
+                hint="merge per-label set copies (Fig. 10b) or lower "
+                "unroll; or leave codegen off for this plan — the "
+                "interpreted fast path has no source budget",
+            )
     rep.add(
         "B405", Severity.NOTE, f"level {est.peak_live_level}",
         f"peak slot pressure: {est.peak_live_sets} live set(s) × unroll "

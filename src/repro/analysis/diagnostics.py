@@ -144,6 +144,10 @@ RULE_REGISTRY: dict[str, RuleInfo] = {
             "B407": ("process-executor worker count exceeds the divisible shard/root-chunk "
                      "supply",
                      "lower num_workers or increase shard count"),
+            "B408": ("the codegen tier's emitted kernel source exceeds the source-size "
+                     "budget",
+                     "merge per-label set copies or lower unroll, or run the plan on the "
+                     "interpreted fast path"),
         }),
         _rules("steal protocol (runtime)", "repro.analysis.sanitizer", {
             "X501": ("steal segment duplicated between donor and thief",

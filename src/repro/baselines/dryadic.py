@@ -27,7 +27,8 @@ import numpy as np
 from repro.codemotion.depgraph import BaseKind, OpKind
 from repro.graph.csr import CSRGraph
 from repro.core.counters import RunResult, RunStatus
-from repro.pattern.plan import MatchingPlan, build_plan
+from repro.core.engine import cached_plan
+from repro.pattern.plan import MatchingPlan
 from repro.pattern.query import QueryGraph
 from repro.virtgpu.costmodel import CpuCostModel
 
@@ -79,9 +80,16 @@ class DryadicEngine:
 
     def plan(self, query: QueryGraph, vertex_induced: bool = False,
              symmetry_breaking: bool = True, order: Sequence[int] | None = None) -> MatchingPlan:
-        return build_plan(
+        """Compile via the shared per-graph plan cache.
+
+        Dryadic executes the exact same :class:`MatchingPlan` as
+        STMatch, so baseline A/B timings must not replan per engine
+        construction — a cached plan here is a cache hit for the
+        STMatch arm too (and vice versa).
+        """
+        return cached_plan(
+            self.graph,
             query,
-            data_graph=self.graph,
             vertex_induced=vertex_induced,
             symmetry_breaking=symmetry_breaking,
             code_motion=self.code_motion,

@@ -1,0 +1,33 @@
+"""Compiled per-query kernel tier (``EngineConfig.codegen``).
+
+The fast path (``repro.core.candidates``) interprets a generic plan IR:
+every frame re-dispatches on ``BaseKind``/``OpKind``, re-resolves
+operand indirection through per-frame memo dicts, and re-checks config
+flags that are constant for the life of a query.  This package removes
+that interpreter overhead by *emitting Python source* specialized to
+one ``(query, schedule)`` pair — the plan's set ops inlined as direct
+intersection/difference sequences, code-motion REF reuse resolved to
+local variables, label/degree/symmetry filters baked in as constants,
+count-only leaves emitted as closed-form tallies — then ``exec``-ing
+and caching the compiled functions in a process-wide LRU keyed exactly
+like the per-graph plan cache (graph-independent, so worker processes
+re-derive identical kernels from the pickled plan + config and never
+ship code objects).
+
+The cost-model-preservation contract is absolute: generated kernels
+issue the same cycle charges through the same :class:`~repro.virtgpu.
+warp.Warp` methods in the same order as the interpreted backends, so
+matches, simulated cycles, steal schedules and tracer event streams are
+byte-identical (``tests/test_codegen_identity.py``).  Only host
+wall-clock changes.
+
+This ``__init__`` stays import-light on purpose: ``repro.core.engine``
+imports :mod:`repro.codegen.cache` at module load, so anything here
+that imported back into ``repro.core`` would cycle.  The emitter and
+the computer are imported lazily by their consumers
+(``repro.codegen.emit`` / ``repro.codegen.computer``).
+"""
+
+from .cache import LRUCache, resolve_codegen
+
+__all__ = ["LRUCache", "resolve_codegen"]

@@ -1,0 +1,113 @@
+"""Counting LRU cache + codegen env-override resolution.
+
+This module is dependency-free (stdlib only) so the lowest layers —
+``repro.core.engine``'s per-graph plan cache and the process-wide code
+cache in :mod:`repro.codegen.compile` — can both use the same eviction
+policy without import cycles.  The hit/miss/eviction counters feed
+``repro.obs`` reports (the ``caches`` section) so cache efficacy shows
+up in ``python -m repro.bench profile``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["LRUCache", "resolve_codegen"]
+
+_MISS = object()
+
+_TRUE = frozenset(("1", "true", "yes", "on"))
+_FALSE = frozenset(("0", "false", "no", "off"))
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and counters.
+
+    ``get`` refreshes recency and counts a hit or a miss; ``put``
+    inserts (evicting the coldest entry at capacity) without touching
+    the hit/miss counters.  Single-threaded by design — every user sits
+    on one Python thread per process.
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int, name: str = "lru") -> None:
+        if maxsize < 1:
+            raise ValueError("LRUCache needs maxsize >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def get(self, key: Any) -> Any:
+        """Return the cached value or ``None``, updating recency/stats."""
+        got = self._data.get(key, _MISS)
+        if got is _MISS:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return got
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        if len(data) >= self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        self._data.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready counter snapshot for ``repro.obs`` reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "capacity": self.maxsize,
+        }
+
+
+def resolve_codegen(config: Any) -> bool:
+    """Resolve the codegen flag with the ``REPRO_CODEGEN`` env override.
+
+    Mirrors :func:`repro.parallel.executor.resolve_execution`: the
+    environment wins over ``config.codegen`` so CI matrices can re-run
+    the whole suite under the compiled tier without touching call
+    sites.  An empty/unset variable defers to the config.
+    """
+    raw = os.environ.get("REPRO_CODEGEN")
+    if raw is None:
+        return bool(config.codegen)
+    val = raw.strip().lower()
+    if not val:
+        return bool(config.codegen)
+    if val in _TRUE:
+        return True
+    if val in _FALSE:
+        return False
+    raise ValueError(
+        f"REPRO_CODEGEN={raw!r}: expected a boolean (1/0/true/false/yes/no/on/off)"
+    )

@@ -1,0 +1,66 @@
+"""Runtime helpers called by generated kernels.
+
+``member_sorted`` is the one primitive every generated set op reduces
+to: membership of ``needles`` in a sorted unique ``hay`` array (plain
+for broadcast operands, over ``segment * stride + value`` keys for
+segmented operands).  When :mod:`numba` is importable the binary search
+runs as an ``njit``-compiled loop; otherwise the pure-NumPy
+``searchsorted`` fallback is used.  Both produce identical boolean
+masks — numba changes host wall-clock only, never results, so the
+generated *source* is byte-identical whether or not numba is present
+(the dispatch happens here, not in the emitter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # optional dependency: never installed by this package
+    import numba as _numba
+except Exception:  # pragma: no cover - exercised only without numba
+    _numba = None
+
+HAVE_NUMBA = _numba is not None
+
+__all__ = ["HAVE_NUMBA", "member_sorted"]
+
+
+def _member_sorted_np(hay: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """``out[i] = needles[i] in hay`` for sorted unique ``hay``."""
+    if hay.size == 0 or needles.size == 0:
+        return np.zeros(needles.shape, dtype=bool)
+    # ndarray.searchsorted skips the np.searchsorted dispatch wrapper —
+    # this primitive runs millions of times on tiny arrays
+    pos = hay.searchsorted(needles)
+    np.minimum(pos, hay.size - 1, out=pos)
+    return hay[pos] == needles
+
+
+if HAVE_NUMBA:  # pragma: no cover - numba is absent in the default env
+
+    @_numba.njit(cache=False)
+    def _member_sorted_loop(hay: np.ndarray, needles: np.ndarray) -> np.ndarray:
+        out = np.zeros(needles.size, dtype=np.bool_)
+        hi = hay.size
+        for i in range(needles.size):
+            x = needles[i]
+            lo = 0
+            top = hi
+            while lo < top:
+                mid = (lo + top) >> 1
+                if hay[mid] < x:
+                    lo = mid + 1
+                else:
+                    top = mid
+            out[i] = lo < hi and hay[lo] == x
+        return out
+
+    def _member_sorted_nb(hay: np.ndarray, needles: np.ndarray) -> np.ndarray:
+        if hay.size == 0 or needles.size == 0:
+            return np.zeros(needles.shape, dtype=bool)
+        result: np.ndarray = _member_sorted_loop(hay, needles)
+        return result
+
+    member_sorted = _member_sorted_nb
+else:
+    member_sorted = _member_sorted_np

@@ -121,6 +121,18 @@ class CandidateComputer:
             self._bitmap = None
             self._bitmap_in = None
 
+    @property
+    def supports_count_only(self) -> bool:
+        """Whether the kernel may take the count-only last-level leaf.
+
+        Only the segmented backends skip materializing last-level
+        candidates; the reference path must build real frames so the
+        differential tests can compare them.  The kernel consults this
+        instead of ``config.fastpath`` so swapped-in computers (the
+        codegen tier) decide for themselves.
+        """
+        return self.fastpath
+
     # -- roots -------------------------------------------------------------
 
     def _build_root_candidates(self) -> np.ndarray:

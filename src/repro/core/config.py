@@ -116,6 +116,16 @@ class EngineConfig:
     #   when it expires surface as FAILED with a non-empty detail and
     #   are re-queued onto surviving shards' devices — never a hang.
     #   None (default) waits indefinitely, matching serial semantics.
+    codegen: bool = False
+    #   compiled per-query kernel tier (repro.codegen): specialize the
+    #   fast-path getCandidates per (query, schedule) by emitting and
+    #   exec-ing Python source with the plan's set ops inlined and all
+    #   constants frozen, cached in a graph-independent process-wide
+    #   LRU.  Semantics- and cost-model-preserving like fastpath itself:
+    #   matches, simulated cycles, steal schedules and tracer streams
+    #   are byte-identical (tests/test_codegen_identity.py); only host
+    #   wall-clock changes.  Requires fastpath=True; the REPRO_CODEGEN
+    #   env var overrides at resolution time for CI matrices.
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -157,6 +167,11 @@ class EngineConfig:
         if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
             raise ValueError(
                 "worker_timeout_s must be > 0 seconds (or None to wait forever)"
+            )
+        if self.codegen and not self.fastpath:
+            raise ValueError(
+                "codegen specializes the fastpath backend and requires "
+                "fastpath=True (the reference path stays interpreted)"
             )
 
     # -- ablation variants (Fig. 12) --------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.codegen.cache import LRUCache, resolve_codegen
 from repro.graph.csr import CSRGraph
 from repro.pattern.plan import MatchingPlan, build_plan
 from repro.pattern.query import QueryGraph
@@ -30,7 +31,69 @@ from .config import EngineConfig
 from .counters import RunResult, RunStatus
 from .kernel import KernelInterrupted, run_kernel
 
-__all__ = ["STMatchEngine"]
+__all__ = ["STMatchEngine", "cached_plan", "plan_cache_stats"]
+
+#: per-graph plan-cache capacity: queries are few (q1..q24 × a handful
+#: of flag combinations), so LRU eviction is a safety valve, not a
+#: steady-state mechanism
+PLAN_CACHE_MAX = 512
+
+
+def cached_plan(
+    graph: CSRGraph,
+    query: QueryGraph,
+    *,
+    vertex_induced: bool = False,
+    symmetry_breaking: bool = True,
+    code_motion: bool = True,
+    order: Sequence[int] | None = None,
+    order_strategy: str = "greedy",
+) -> MatchingPlan:
+    """Compile ``query`` against ``graph``, memoized on the graph object.
+
+    The shared planning entry point for every engine (STMatch and the
+    Dryadic baseline): plans are cached on the *graph* (the same pattern
+    as its degree/bitmap caches) in a counting LRU keyed by every input
+    that shapes the plan, so fresh engine constructions — one per
+    ``run_multi_gpu`` shard, one per baseline A/B arm — replan at most
+    once per distinct combination.  Plans are immutable, so sharing one
+    across shards (and pickling it to process-pool workers) is safe.
+    """
+    key = (
+        query,
+        vertex_induced,
+        symmetry_breaking,
+        code_motion,
+        tuple(order) if order is not None else None,
+        order_strategy,
+    )
+    cache = getattr(graph, "_plan_cache", None)
+    if cache is None:
+        cache = LRUCache(PLAN_CACHE_MAX, name="plan")
+        object.__setattr__(graph, "_plan_cache", cache)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build_plan(
+            query,
+            data_graph=graph,
+            vertex_induced=vertex_induced,
+            symmetry_breaking=symmetry_breaking,
+            code_motion=code_motion,
+            order=order,
+            order_strategy=order_strategy,
+        )
+        cache.put(key, plan)
+    return plan
+
+
+def plan_cache_stats(graph: CSRGraph) -> dict[str, int]:
+    """Counter snapshot of ``graph``'s plan cache (empty-cache shaped
+    when no plan was ever requested)."""
+    cache = getattr(graph, "_plan_cache", None)
+    if cache is None:
+        return LRUCache(PLAN_CACHE_MAX, name="plan").stats()
+    stats: dict[str, int] = cache.stats()
+    return stats
 
 
 class STMatchEngine:
@@ -54,10 +117,6 @@ class STMatchEngine:
 
     # -- planning ----------------------------------------------------------
 
-    #: plan-cache size guard: queries are few (q1..q24 × a handful of
-    #: flag combinations), so eviction is a whole-cache reset, not LRU
-    _PLAN_CACHE_MAX = 512
-
     def plan(
         self,
         query: QueryGraph,
@@ -68,41 +127,20 @@ class STMatchEngine:
     ) -> MatchingPlan:
         """Compile ``query`` against this engine's graph and config.
 
-        Plans are memoized on the *graph* object (the same pattern as
-        its degree/bitmap caches), keyed by every input that shapes the
-        plan — so ``run_multi_gpu``, which builds a fresh engine per
-        call, still replans at most once per distinct
+        Delegates to the shared per-graph LRU (:func:`cached_plan`), so
+        ``run_multi_gpu`` — which builds a fresh engine per call — still
+        replans at most once per distinct
         ``(query, vertex_induced, symmetry_breaking, ...)`` combination.
-        Plans are immutable, so sharing one across shards (and pickling
-        it to process-pool workers) is safe.
         """
-        key = (
+        return cached_plan(
+            self.graph,
             query,
-            vertex_induced,
-            symmetry_breaking,
-            self.config.code_motion,
-            tuple(order) if order is not None else None,
-            order_strategy,
+            vertex_induced=vertex_induced,
+            symmetry_breaking=symmetry_breaking,
+            code_motion=self.config.code_motion,
+            order=order,
+            order_strategy=order_strategy,
         )
-        cache = getattr(self.graph, "_plan_cache", None)
-        if cache is None:
-            cache = {}
-            object.__setattr__(self.graph, "_plan_cache", cache)
-        plan = cache.get(key)
-        if plan is None:
-            plan = build_plan(
-                query,
-                data_graph=self.graph,
-                vertex_induced=vertex_induced,
-                symmetry_breaking=symmetry_breaking,
-                code_motion=self.config.code_motion,
-                order=order,
-                order_strategy=order_strategy,
-            )
-            if len(cache) >= self._PLAN_CACHE_MAX:
-                cache.clear()
-            cache[key] = plan
-        return plan
 
     # -- execution ---------------------------------------------------------
 
@@ -164,7 +202,7 @@ class STMatchEngine:
 
             verify_plan(plan).raise_if_errors()
         dev = device or VirtualDevice(cfg.device)
-        computer = CandidateComputer(self.graph, plan, cfg)
+        computer = self._make_computer(plan, cfg)
         tracer = collector
         if tracer is None and cfg.observe:
             from repro.obs import TraceCollector
@@ -242,6 +280,20 @@ class STMatchEngine:
             ),
         )
 
+    def _make_computer(self, plan: MatchingPlan, cfg: EngineConfig) -> CandidateComputer:
+        """Pick the candidate backend: interpreted, or the compiled tier.
+
+        Codegen rides on the fast path only — with ``fastpath=False``
+        the reference interpreter always runs, even under
+        ``REPRO_CODEGEN=1`` (the env override must never flip a
+        reference-path differential test onto generated code).
+        """
+        if cfg.fastpath and resolve_codegen(cfg):
+            from repro.codegen.computer import CodegenCandidateComputer
+
+            return CodegenCandidateComputer(self.graph, plan, cfg)
+        return CandidateComputer(self.graph, plan, cfg)
+
     def _build_report(
         self,
         tracer: object | None,
@@ -252,11 +304,16 @@ class STMatchEngine:
     ) -> dict | None:
         if tracer is None:
             return None
+        from repro.codegen.compile import code_cache_stats
         from repro.obs import build_report
 
+        caches = {
+            "plan": plan_cache_stats(self.graph),
+            "codegen": code_cache_stats(),
+        }
         return build_report(tracer, device=dev, config=self.config,
                             status=status, matches=matches,
-                            system=self.name, **steals)
+                            system=self.name, caches=caches, **steals)
 
     def run_partitioned(
         self,

@@ -430,7 +430,7 @@ class WarpTask:
             new_level == st.plan.size - 1
             and st.on_match is None
             and st.sanitizer is None
-            and cfg.fastpath
+            and st.computer.supports_count_only
         ):
             # count-only leaf: the last level's candidates are never
             # iterated, only counted, so skip materializing their arrays

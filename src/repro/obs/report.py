@@ -56,6 +56,7 @@ def _config_dict(config: Any) -> dict[str, Any]:
         "global_steal": config.global_steal,
         "code_motion": config.code_motion,
         "fastpath": config.fastpath,
+        "codegen": config.codegen,
         "max_results": config.max_results,
         "checkpoint_interval": config.checkpoint_interval,
     }
@@ -72,6 +73,7 @@ def build_report(
     num_global_steals: int = 0,
     num_lost_steals: int = 0,
     system: str = "stmatch",
+    caches: dict[str, dict[str, int]] | None = None,
 ) -> dict[str, Any]:
     """Build a ``"single"``-kind report from one launch's collector.
 
@@ -80,6 +82,9 @@ def build_report(
     the cost model does not track (attempts, batch fill, candidate
     sizes).  Both views appear side by side so conservation laws are
     checkable from the report alone.
+
+    ``caches`` attaches hit/miss counter snapshots of the engine-side
+    caches (plan cache, codegen code cache) keyed by cache name.
     """
     warps = []
     for w in device.warps:
@@ -118,7 +123,7 @@ def build_report(
     b = unroll_stats["batches"]
     unroll_stats["avg_fill"] = unroll_stats["batch_elems"] / b if b else 0.0
 
-    return {
+    report: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "kind": "single",
         "system": system,
@@ -148,6 +153,9 @@ def build_report(
         "num_events": len(collector.events),
         "dropped_events": collector.dropped_events,
     }
+    if caches is not None:
+        report["caches"] = caches
+    return report
 
 
 def aggregate_reports(
@@ -251,6 +259,14 @@ def validate_report(report: dict[str, Any], path: str = "report") -> None:
         unroll = _need(report, "unroll", dict, path)
         for k in ("unroll", "batches", "max_fill"):
             _need(unroll, k, int, f"{path}.unroll")
+        if "caches" in report:
+            caches = _need(report, "caches", dict, path)
+            for cname, counters in caches.items():
+                cpath = f"{path}.caches[{cname}]"
+                if not isinstance(counters, dict):
+                    _fail(cpath, "expected dict")
+                for k in ("hits", "misses", "evictions", "size", "capacity"):
+                    _need(counters, k, int, cpath)
     elif kind in ("multi_gpu", "distributed"):
         children = _need(report, "children", list, path)
         for i, child in enumerate(children):
