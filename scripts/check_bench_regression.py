@@ -28,6 +28,16 @@ Three modes:
   acceptance floor — sparse stand-in rows are informational because the
   shared kernel loop bounds their ratio).
 
+* ``check_bench_regression.py --serve BENCH_serve.json`` — validate a
+  ``python -m repro.bench serve`` payload against the ``repro.obs``
+  service schema and its robustness invariants: the terminal-status
+  accounting adds up, every countable response matched its golden
+  count (load *and* chaos phase), degraded/shed responses were
+  explicitly marked, the chaos phase actually opened and re-closed the
+  circuit breaker, and the load phase ran at least ``--min-clients``
+  concurrent clients (default 4).  Absolute latency/throughput are
+  recorded, never gated — they are machine-dependent.
+
 * ``check_bench_regression.py --parallel BENCH_parallel.json`` —
   validate a ``python -m repro.bench parallel`` payload: every
   (workload, worker-count) point must report byte-identical matches
@@ -217,6 +227,40 @@ def check_parallel(path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_serve(path: str, min_clients: int) -> list[str]:
+    """Validate a ``repro.bench serve`` payload (schema + invariants)."""
+    obs = _import_obs()
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        obs.validate_service_report(payload)
+    except ValueError as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    if payload["clients"] < min_clients:
+        problems.append(
+            f"load phase ran {payload['clients']} client(s), below the "
+            f"{min_clients}-client floor — no concurrency was exercised"
+        )
+    chaos = payload["chaos"]
+    if not chaos.get("breaker_opened", False):
+        problems.append("chaos phase never opened the circuit breaker")
+    breaker = payload["breaker"]
+    if not breaker.get("closes"):
+        problems.append(
+            "the breaker never closed again — the half-open probe path "
+            "was not exercised"
+        )
+    if chaos.get("countable", 0) < 1:
+        problems.append("chaos phase produced no countable responses")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="baseline JSON (or the only file to validate)")
@@ -249,7 +293,33 @@ def main(argv: list[str] | None = None) -> int:
                    help="parallel mode: required geomean speedup at 4 "
                         "workers on a >= 4-core host (default 2.5); scaled "
                         "down by min(4, cpu_count)/4 on smaller hosts")
+    p.add_argument("--serve", action="store_true",
+                   help="treat the file as a BENCH_serve.json payload: "
+                        "validate the service schema, identity/accounting "
+                        "invariants and the breaker lifecycle")
+    p.add_argument("--min-clients", type=int, default=4,
+                   help="serve mode: minimum concurrent clients the load "
+                        "phase must have run (default 4)")
     args = p.parse_args(argv)
+
+    if args.serve:
+        if args.current is not None:
+            p.error("--serve takes a single file")
+        problems = check_serve(args.baseline, args.min_clients)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        r = payload["requests"]
+        print(f"ok: serve payload valid — {r['total']} request(s) at "
+              f"{payload['clients']} client(s), {r['ok']} served / "
+              f"{r['shed']} shed / {r['degraded']} degraded, p50 "
+              f"{payload['latency_ms']['p50']:.2f} ms, p99 "
+              f"{payload['latency_ms']['p99']:.2f} ms, breaker "
+              f"opened+closed, identity and accounting invariants hold")
+        return 0
 
     if args.codegen:
         if args.current is not None:

@@ -178,6 +178,11 @@ RULE_REGISTRY: dict[str, RuleInfo] = {
             "X510": ("worker result absorbed after pool teardown (lost count)",
                      "collect every worker result before discarding its pool, or "
                      "re-queue the shard instead of absorbing a post-teardown result"),
+            "X511": ("retried request double-counted, replayed without provenance, "
+                     "or shed after committing (request-scoped exactly-once)",
+                     "commit each idempotency key at most once while remembered; "
+                     "serve retries from the window (request_replay) and never "
+                     "shed a key that already committed"),
         }),
     )
     for info in group

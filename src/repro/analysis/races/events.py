@@ -28,8 +28,19 @@ Coordinator event kinds (:data:`PROTOCOL_KINDS`):
 ``ledger_commit`` / ``ledger_failure`` / ``ledger_absorb``
     The recovery ledger recorded a commit, an observed failure, or
     mirrored a worker-computed result.
+``ledger_forget``
+    The ledger dropped a committed key (a bounded idempotency window
+    evicting an old request) — the key may legitimately commit again.
 ``pool_teardown``
     A process pool was discarded (dead/hung worker or shutdown).
+``request_admit`` / ``request_shed``
+    The serve layer admitted a request (``key`` = idempotency key) or
+    explicitly rejected it (overload / tenant limits) — a shed request
+    must never also commit.
+``request_commit`` / ``request_replay``
+    A request's result was committed exactly once, or served again
+    from the idempotency window without re-execution.  Rule X511
+    audits this pair: one commit per key, replays only after it.
 """
 
 from __future__ import annotations
@@ -70,7 +81,12 @@ PROTOCOL_KINDS = frozenset({
     "ledger_commit",
     "ledger_failure",
     "ledger_absorb",
+    "ledger_forget",
     "pool_teardown",
+    "request_admit",
+    "request_shed",
+    "request_commit",
+    "request_replay",
 })
 
 

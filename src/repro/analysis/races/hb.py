@@ -26,6 +26,12 @@ X509 / X510
     result / re-queue / ledger commit / pool teardown): a re-queue must
     be ordered after the original's failure, every range commits once,
     and a result absorbed after its pool's teardown has no provenance.
+X511
+    Request-scoped exactly-once over the serve protocol (admit / shed /
+    commit / replay): every idempotency key commits at most once while
+    it is remembered, a replay must be ordered after its key's commit,
+    and a shed request never also commits — the retried-request analog
+    of X506, across request boundaries instead of kernel attempts.
 
 On a clean run every check passes — the schedule explorer
 (:mod:`repro.analysis.races.schedules`) asserts exactly that across
@@ -177,12 +183,15 @@ def check_trace_events(
 
 
 def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticReport:
-    """Run the coordinator-level checks (X509, X510) over a protocol log.
+    """Run the coordinator-level checks (X509, X510, X511) over a
+    protocol log.
 
-    The coordinator is single-threaded, so the log's sequence order is
-    its program order; the races it can commit are against *workers*
+    The coordinator is single-threaded (the serve layer serializes its
+    emissions under one lock), so the log's sequence order is its
+    program order; the races it can commit are against *workers*
     (a late original completing after its re-queue was dispatched, a
-    pool torn down before its results were collected), which surface
+    pool torn down before its results were collected) or against
+    *retried requests* (a replayed key re-executing), which surface
     as ordering violations in this log.
     """
     rep = DiagnosticReport(subject=subject)
@@ -191,6 +200,8 @@ def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticRep
     countable_seen: set[tuple[Any, ...]] = set()
     results_seen: dict[tuple[Any, ...], list[int]] = {}
     teardowns: list[int] = []
+    req_committed: set[tuple[Any, ...]] = set()
+    req_shed: set[tuple[Any, ...]] = set()
 
     for e in log:
         key = e.key
@@ -254,8 +265,44 @@ def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticRep
                 failed_seen.add(key or ())
         elif e.kind == "ledger_failure":
             failed_seen.add(key or ())
+        elif e.kind == "ledger_forget":
+            # a bounded idempotency window evicted the key: a later
+            # commit for it is legitimate (the request is a stranger
+            # again), so drop it from the exactly-once sets
+            committed.discard(key)
+            req_committed.discard(key or ())
         elif e.kind == "pool_teardown":
             teardowns.append(e.seq)
+        elif e.kind == "request_shed":
+            req_shed.add(key or ())
+            if (key or ()) in req_committed:
+                rep.add(
+                    "X511", Severity.ERROR, loc,
+                    f"request shed at seq {e.seq} for a key that already "
+                    "committed — the client sees a rejection for work that "
+                    "was counted",
+                    hint="check the idempotency window before shedding",
+                )
+        elif e.kind == "request_commit":
+            if (key or ()) in req_committed:
+                rep.add(
+                    "X511", Severity.ERROR, loc,
+                    f"second commit at seq {e.seq} for an already-committed "
+                    "idempotency key — a retried request double-counted",
+                    hint="serve remembered keys from the idempotency window "
+                         "(request_replay), never re-execute them",
+                )
+            req_committed.add(key or ())
+        elif e.kind == "request_replay":
+            if (key or ()) not in req_committed:
+                rep.add(
+                    "X511", Severity.ERROR, loc,
+                    f"replay at seq {e.seq} for a key with no prior commit — "
+                    "the served answer has no provenance",
+                    hint="only replay keys whose commit is ordered before "
+                         "the replay",
+                )
+        # "request_admit": program-order only (bookkeeping for audits)
     return rep
 
 

@@ -14,6 +14,7 @@ Examples::
     python -m repro.bench parallel --json BENCH_parallel.json
     python -m repro.bench profile --json BENCH_profile.json
     python -m repro.bench chaos --seed-sweep 10
+    python -m repro.bench serve --clients 8 --json BENCH_serve.json
 
 For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
 ``wiki_vote/q1 mico/q4``) and ``--json`` writes the A/B payload that
@@ -80,6 +81,13 @@ EXPERIMENTS = {
         scale=a.scale or "tiny",
         seed_base=a.seed_base,
     ),
+    "serve": lambda a: experiments.serve_bench(
+        clients=a.clients,
+        num_requests=a.requests,
+        dataset=(a.datasets or ["wiki_vote"])[0],
+        scale=a.scale or "tiny",
+        seed=a.seed_base,
+    ),
 }
 
 
@@ -109,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "fault-free matches (default: 3)")
     p.add_argument("--seed-base", type=int, default=0, metavar="S",
                    help="chaos: first seed of the sweep (default: 0)")
+    p.add_argument("--clients", type=int, default=8, metavar="N",
+                   help="serve: number of concurrent closed-loop clients "
+                        "(default: 8)")
+    p.add_argument("--requests", type=int, default=64, metavar="N",
+                   help="serve: total requests in the load phase "
+                        "(default: 64)")
     return p
 
 

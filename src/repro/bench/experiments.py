@@ -43,6 +43,7 @@ __all__ = [
     "parallel_scaling",
     "chaos_sweep",
     "profile_breakdown",
+    "serve_bench",
 ]
 
 
@@ -981,3 +982,249 @@ def chaos_sweep(
         "seeds": rows,
     }
     return ExperimentResult(experiment="chaos", rendered=t.render(), data=data)
+
+
+def serve_bench(
+    clients: int = 8,
+    num_requests: int = 64,
+    dataset: str = "wiki_vote",
+    update_dataset: str = "mico",
+    scale: str = "tiny",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Closed-loop load + chaos-under-load bench of the match service.
+
+    **Phase A (load)** drives a serial-backend service with ``clients``
+    concurrent closed-loop threads over a seeded request mix (repeated
+    idempotency keys, budget-truncated requests, a quota-limited
+    tenant) against a deliberately small admission queue, and replaces
+    the hosted graph mid-run.  Latency percentiles, throughput and the
+    shed rate are machine-dependent and merely *recorded*; what is
+    *asserted* is the robustness contract — every countable response
+    equals the golden count for the graph version it names, and every
+    degraded/shed/failed response is explicitly marked with a detail.
+
+    **Phase B (chaos)** replays a :class:`~repro.faults.FaultPlan`
+    against a pool-backed service: every pool attempt of two targeted
+    idempotency keys is killed, driving retry/backoff, opening the
+    circuit breaker (manual clock — deterministic), serving degraded
+    in-thread answers while open, then half-opening and closing on a
+    probe.  The same identity invariant is asserted throughout.
+
+    ``--json BENCH_serve.json`` writes the payload that
+    ``scripts/check_bench_regression.py --serve`` validates in CI
+    (structure + invariants, never absolute latency).
+    """
+    import os as _os
+    import random as _random
+    import threading as _threading
+
+    from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+    from repro.obs import validate_service_report
+    from repro.parallel import pool_stats, shutdown_pools
+    from repro.pattern import get_query
+    from repro.serve import (
+        ATTEMPT_STRIDE,
+        CircuitBreaker,
+        MatchRequest,
+        MatchService,
+        RetryPolicy,
+        TenantPolicy,
+        request_attempt_offset,
+        run_load,
+        summarize,
+    )
+    from repro.serve.request import ResponseStatus
+
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    qnames = ["q1", "q2", "q3"]
+    graph_v1 = load_dataset(dataset, scale=scale)
+    graph_v2 = load_dataset(update_dataset, scale=scale)
+
+    # golden exact counts per (graph version, query) — the identity oracle
+    golden: dict[tuple[int, str], int] = {}
+    for version, g in ((1, graph_v1), (2, graph_v2)):
+        eng = STMatchEngine(g, EngineConfig())
+        for qn in qnames:
+            res = eng.run(get_query(qn))
+            assert res.status == "ok", f"golden run failed: {res.detail}"
+            golden[(version, qn)] = res.matches
+
+    saved_env = {k: _os.environ.pop(k, None)
+                 for k in ("REPRO_EXECUTOR", "REPRO_NUM_WORKERS")}
+    try:
+        # ---- Phase A: seeded closed-loop load, mid-run graph update ----
+        svc = MatchService(
+            {dataset: graph_v1}, EngineConfig(),
+            queue_depth=max(2, clients // 2),
+            pressure_threshold=max(2, clients // 4),
+            tenants={"metered": TenantPolicy(max_concurrency=1)},
+        )
+        rng = _random.Random(seed)
+        requests: list[MatchRequest] = []
+        req_query: list[str] = []
+        for i in range(num_requests):
+            qn = rng.choice(qnames)
+            kwargs: dict = {}
+            draw = rng.random()
+            if draw < 0.25:
+                # an idempotency key names one logical request, so it
+                # must pin the query it was first used with
+                kwargs["idempotency_key"] = f"key-{qn}-{rng.randrange(2)}"
+            elif draw < 0.40:
+                kwargs["budget"] = 50
+            elif draw < 0.50:
+                kwargs["tenant"] = "metered"
+            requests.append(MatchRequest(graph=dataset, query=get_query(qn),
+                                         **kwargs))
+            req_query.append(qn)
+
+        updated = _threading.Event()
+        landed = [0]
+        landed_lock = _threading.Lock()
+
+        def on_response(pos: int, resp: object) -> None:
+            with landed_lock:
+                landed[0] += 1
+                trigger = landed[0] == num_requests // 2
+            if trigger and not updated.is_set():
+                updated.set()
+                svc.update_graph(dataset, graph_v2)
+
+        responses, wall_s = run_load(svc, requests, clients,
+                                     on_response=on_response)
+        load = summarize(responses, wall_s, clients)
+
+        identity_ok = True
+        accounting_ok = True
+        for resp, qn in zip(responses, req_query):
+            if resp.countable and resp.matches != golden[(resp.graph_version, qn)]:
+                identity_ok = False
+            if (resp.degraded or resp.status != ResponseStatus.OK) and not resp.detail:
+                accounting_ok = False
+            if resp.status != ResponseStatus.OK and resp.matches != 0:
+                accounting_ok = False
+        cache_stats = svc.stats()["caches"]["results"]
+
+        # ---- Phase B: chaos under load (deterministic, one client) ----
+        clk = [0.0]
+        boom_keys = ("boom-0", "boom-1")
+        events = [
+            FaultEvent(FaultKind.WORKER_CRASH, device=0,
+                       attempt=request_attempt_offset(k, a))
+            for k in boom_keys for a in range(ATTEMPT_STRIDE)
+        ]
+        chaos_breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0,
+                                       clock=lambda: clk[0])
+        chaos_svc = MatchService(
+            {dataset: graph_v1},
+            EngineConfig(executor="process", num_workers=2,
+                         worker_timeout_s=60.0),
+            breaker=chaos_breaker,
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=0.0,
+                              max_backoff_s=0.0),
+            fault_plan=FaultPlan(events=tuple(events), seed=seed),
+            seed=seed,
+        )
+        chaos_responses = []
+        # boom-0: both pool attempts killed -> breaker opens -> degraded
+        chaos_responses.append(("q1", chaos_svc.match(MatchRequest(
+            graph=dataset, query=get_query("q1"), idempotency_key="boom-0"))))
+        # boom-1 + a clean query while OPEN: served in-thread, degraded
+        chaos_responses.append(("q2", chaos_svc.match(MatchRequest(
+            graph=dataset, query=get_query("q2"), idempotency_key="boom-1"))))
+        chaos_responses.append(("q3", chaos_svc.match(MatchRequest(
+            graph=dataset, query=get_query("q3")))))
+        # cooldown elapses (manual clock) -> HALF_OPEN -> probe closes it
+        clk[0] = 11.0
+        chaos_responses.append(("q1", chaos_svc.match(MatchRequest(
+            graph=dataset, query=get_query("q1"), budget=25))))
+        breaker_stats = chaos_breaker.stats()
+        chaos_countable = 0
+        chaos_degraded = 0
+        for qn, resp in chaos_responses:
+            if resp.countable:
+                chaos_countable += 1
+                if resp.matches != golden[(1, qn)]:
+                    identity_ok = False
+            if resp.degraded:
+                chaos_degraded += 1
+                if not resp.detail:
+                    accounting_ok = False
+        chaos_identity_ok = identity_ok
+        pool = pool_stats()
+    finally:
+        shutdown_pools()
+        for k, v in saved_env.items():
+            if v is not None:
+                _os.environ[k] = v
+
+    breaker_opened = breaker_stats["opens"] >= 1
+    closed_again = breaker_stats["closes"] >= 1
+
+    t = TextTable(
+        title=(f"Match service bench — {dataset}@{scale!r}, {clients} "
+               f"clients, {num_requests} requests, seed {seed}"),
+        columns=["phase", "requests", "ok", "shed", "degraded", "p50 ms",
+                 "p99 ms", "rps", "identity"],
+    )
+    t.add_row("load", load["counts"]["total"], load["counts"]["ok"],
+              load["counts"]["shed"], load["counts"]["degraded"],
+              f"{load['latency_ms']['p50']:.2f}",
+              f"{load['latency_ms']['p99']:.2f}",
+              f"{load['throughput_rps']:.1f}",
+              "exact" if identity_ok else "BROKEN")
+    t.add_row("chaos", len(chaos_responses),
+              sum(1 for _, r in chaos_responses
+                  if r.status == ResponseStatus.OK),
+              0, chaos_degraded, "-", "-", "-",
+              "exact" if chaos_identity_ok else "BROKEN")
+    t.add_note(f"graph updated to {update_dataset} mid-run at response "
+               f"{num_requests // 2}; every countable response matched the "
+               "golden count for the version it names")
+    t.add_note("breaker: " + " -> ".join(
+        [tr["from"] + ">" + tr["to"] for tr in breaker_stats["transitions"]]
+        or ["(no transitions)"]))
+    if not breaker_opened or not closed_again:
+        raise AssertionError(
+            "chaos phase failed to exercise the breaker lifecycle "
+            f"(opens={breaker_stats['opens']}, "
+            f"closes={breaker_stats['closes']})")
+    if not identity_ok:
+        raise AssertionError(
+            "serve bench identity broken: a countable response disagreed "
+            "with the golden count for its graph version")
+    if not accounting_ok:
+        raise AssertionError(
+            "serve bench accounting broken: a degraded/shed response was "
+            "not explicitly marked")
+
+    data = {
+        "schema_version": 1,
+        "experiment": "serve",
+        "dataset": dataset,
+        "update_dataset": update_dataset,
+        "scale": scale,
+        "seed": seed,
+        "clients": clients,
+        "requests": load["counts"],
+        "latency_ms": load["latency_ms"],
+        "wall_s": load["wall_s"],
+        "throughput_rps": load["throughput_rps"],
+        "shed_rate": load["shed_rate"],
+        "breaker": breaker_stats,
+        "cache": cache_stats,
+        "pool": pool,
+        "identity_ok": identity_ok,
+        "accounting_ok": accounting_ok,
+        "chaos": {
+            "requests": len(chaos_responses),
+            "countable": chaos_countable,
+            "degraded": chaos_degraded,
+            "identity_ok": chaos_identity_ok,
+            "breaker_opened": breaker_opened,
+        },
+    }
+    validate_service_report(data)
+    return ExperimentResult(experiment="serve", rendered=t.render(), data=data)

@@ -113,8 +113,9 @@ class EngineConfig:
     #   runs never pay fork/IPC overhead (serial fast fallback).
     worker_timeout_s: float | None = None
     #   wall-clock cap on one parallel shard batch: shards unfinished
-    #   when it expires surface as FAILED with a non-empty detail and
-    #   are re-queued onto surviving shards' devices — never a hang.
+    #   when it expires surface individually as TIMEOUT with a
+    #   non-empty detail (completed shards keep their results) and are
+    #   re-queued onto surviving shards' devices — never a hang.
     #   None (default) waits indefinitely, matching serial semantics.
     codegen: bool = False
     #   compiled per-query kernel tier (repro.codegen): specialize the
@@ -197,3 +198,23 @@ class EngineConfig:
     def with_(self, **kw) -> "EngineConfig":
         """Functional update (convenience for sweeps)."""
         return replace(self, **kw)
+
+    @property
+    def budget(self) -> int | None:
+        """Alias for :attr:`max_results` — the exploration budget.
+
+        The serve layer speaks in "budgets" (per-tenant cycle budgets,
+        budget-truncated degraded answers); the engine knob it clamps
+        is ``max_results``.  One name per layer, one field underneath.
+        """
+        return self.max_results
+
+    def with_budget(self, budget: int | None) -> "EngineConfig":
+        """Functional update of the exploration budget, keeping the
+        tighter of the current and requested caps (a tenant budget must
+        never *loosen* a client-requested one)."""
+        if budget is None:
+            return self
+        if self.max_results is not None:
+            budget = min(budget, self.max_results)
+        return replace(self, max_results=budget)

@@ -31,7 +31,7 @@ from .config import EngineConfig
 from .counters import RunResult, RunStatus
 from .kernel import KernelInterrupted, run_kernel
 
-__all__ = ["STMatchEngine", "cached_plan", "plan_cache_stats"]
+__all__ = ["STMatchEngine", "cached_plan", "engine_cache_stats", "plan_cache_stats"]
 
 #: per-graph plan-cache capacity: queries are few (q1..q24 × a handful
 #: of flag combinations), so LRU eviction is a safety valve, not a
@@ -94,6 +94,18 @@ def plan_cache_stats(graph: CSRGraph) -> dict[str, int]:
         return LRUCache(PLAN_CACHE_MAX, name="plan").stats()
     stats: dict[str, int] = cache.stats()
     return stats
+
+
+def engine_cache_stats(graph: CSRGraph) -> dict[str, dict[str, int]]:
+    """Every engine-level cache touching ``graph``, in one snapshot —
+    the ``caches`` section of obs reports and the serve layer's
+    telemetry (which adds its own result cache alongside)."""
+    from repro.codegen.compile import code_cache_stats
+
+    return {
+        "plan": plan_cache_stats(graph),
+        "codegen": code_cache_stats(),
+    }
 
 
 class STMatchEngine:
@@ -304,13 +316,9 @@ class STMatchEngine:
     ) -> dict | None:
         if tracer is None:
             return None
-        from repro.codegen.compile import code_cache_stats
         from repro.obs import build_report
 
-        caches = {
-            "plan": plan_cache_stats(self.graph),
-            "codegen": code_cache_stats(),
-        }
+        caches = engine_cache_stats(self.graph)
         return build_report(tracer, device=dev, config=self.config,
                             status=status, matches=matches,
                             system=self.name, caches=caches, **steals)

@@ -154,8 +154,9 @@ def run_multi_gpu(
     With ``config.executor == "process"`` (or ``REPRO_EXECUTOR``) the
     shards run on the persistent worker pool of :mod:`repro.parallel`
     over a shared-memory copy of the graph — result-identical to the
-    serial loop; a worker that dies or times out surfaces as a FAILED
-    shard and is re-queued onto the survivors like any other failure.
+    serial loop; a worker that dies surfaces as a FAILED shard, one
+    that trips the batch deadline as a TIMEOUT shard, and both are
+    re-queued onto the survivors like any other failure.
 
     ``protocol_log`` (duck-typed: an ``emit(kind, key=..., **data)``
     method, e.g. :class:`repro.analysis.races.ProtocolLog`) records
@@ -250,7 +251,7 @@ def run_multi_gpu(
         lost = [d for d in range(num_devices) if not results[d].countable]
     else:
         lost = [d for d in range(num_devices)
-                if results[d].status == RunStatus.FAILED]
+                if results[d].status in (RunStatus.FAILED, RunStatus.TIMEOUT)]
     survivors = [d for d in range(num_devices) if results[d].countable]
     num_requeued = 0
     if lost and survivors:

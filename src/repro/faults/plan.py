@@ -26,6 +26,14 @@ Fault kinds map onto the failure modes of the paper's execution stack:
   execution backend, :mod:`repro.parallel`).  Only meaningful under
   ``executor="process"``: a serial run cannot kill its own process, so
   serial executors ignore these events.
+* ``WORKER_STALL`` — the worker process hosting a shard stalls for
+  ``stall_s`` wall-clock seconds before running it (a wedged driver,
+  page-cache thrash, a CPU-starved cgroup).  The simulated clock never
+  sees the stall; what it exercises is the *batch deadline*
+  (``EngineConfig.worker_timeout_s``): a stalled shard must surface as
+  an individual ``TIMEOUT`` without smearing over shards that already
+  completed.  Like ``WORKER_CRASH``, serial executors ignore it — an
+  in-process run has no worker to stall.
 """
 
 from __future__ import annotations
@@ -48,9 +56,10 @@ class FaultKind:
     STEAL_LOSS = "steal_loss"
     MACHINE_FAIL = "machine_fail"
     WORKER_CRASH = "worker_crash"
+    WORKER_STALL = "worker_stall"
 
     ALL = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS,
-           MACHINE_FAIL, WORKER_CRASH)
+           MACHINE_FAIL, WORKER_CRASH, WORKER_STALL)
 
     #: kinds scoped to one virtual device / one kernel attempt
     DEVICE_SCOPED = (DEVICE_FAIL, KERNEL_TIMEOUT, TRANSIENT_OOM, STEAL_LOSS)
@@ -79,6 +88,9 @@ class FaultEvent:
         Cluster-clock trigger (``MACHINE_FAIL``).
     count:
         Multiplicity (``STEAL_LOSS``: number of messages dropped).
+    stall_s:
+        Wall-clock seconds a ``WORKER_STALL`` delays its worker before
+        the shard starts (ignored by every other kind).
     """
 
     kind: str
@@ -88,6 +100,7 @@ class FaultEvent:
     at_cycle: float | None = None
     at_ms: float | None = None
     count: int = 1
+    stall_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
@@ -100,6 +113,11 @@ class FaultEvent:
                 raise ValueError("machine_fail needs a machine and at_ms >= 0")
         if self.kind == FaultKind.WORKER_CRASH and self.device is None:
             raise ValueError("worker_crash needs a device (= shard id)")
+        if self.kind == FaultKind.WORKER_STALL:
+            if self.device is None:
+                raise ValueError("worker_stall needs a device (= shard id)")
+            if self.stall_s is None or self.stall_s <= 0:
+                raise ValueError("worker_stall needs stall_s > 0 seconds")
         if self.count < 1:
             raise ValueError("count must be >= 1")
 
@@ -115,8 +133,9 @@ class FaultEvent:
         elif self.at_ms is not None:
             when = f" @{self.at_ms:.3f}ms"
         mult = f" x{self.count}" if self.count > 1 else ""
+        stall = f" stall {self.stall_s}s" if self.stall_s else ""
         return (f"{self.kind}[{', '.join(where) or 'anywhere'}, "
-                f"attempt {self.attempt}]{when}{mult}")
+                f"attempt {self.attempt}]{when}{mult}{stall}")
 
 
 @dataclass(frozen=True)
@@ -236,6 +255,19 @@ class FaultPlan:
             and e.device == device
             and e.attempt == attempt
             for e in self.events
+        )
+
+    def worker_stall_s(self, device: int, attempt: int = 0) -> float:
+        """Total wall-clock seconds the worker *process* hosting
+        ``device``'s shard stalls before running ``attempt``.  Consulted
+        only by the process execution backend (serial executors have no
+        worker to stall); 0.0 means no stall is scheduled."""
+        return sum(
+            e.stall_s or 0.0
+            for e in self.events
+            if e.kind == FaultKind.WORKER_STALL
+            and e.device == device
+            and e.attempt == attempt
         )
 
     def machine_fail_ms(self, machine: int) -> float | None:

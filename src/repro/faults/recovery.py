@@ -141,6 +141,22 @@ class RecoveryLedger:
         else:
             self._observe_failure(key, result)
 
+    def forget(self, key: RangeKey) -> bool:
+        """Drop a committed key from the ledger (bounded idempotency
+        windows evicting old requests).
+
+        After a ``forget`` the key may legitimately commit again — the
+        request is a stranger to the ledger — so the eviction is itself
+        a protocol event (``ledger_forget``): the happens-before
+        checker needs it to tell a windowed re-commit from an X506/X511
+        double count.  Returns whether the key was present.
+        """
+        if key not in self.committed:
+            return False
+        self._note("ledger_forget", key)
+        del self.committed[key]
+        return True
+
     @property
     def total_matches(self) -> int:
         return sum(self.committed.values())

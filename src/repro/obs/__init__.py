@@ -30,6 +30,7 @@ from .report import (
     build_report,
     validate_profile,
     validate_report,
+    validate_service_report,
 )
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "build_report",
     "validate_profile",
     "validate_report",
+    "validate_service_report",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "aggregate_reports",
     "validate_report",
     "validate_profile",
+    "validate_service_report",
 ]
 
 SCHEMA_VERSION = 1
@@ -330,3 +331,86 @@ def validate_profile(payload: dict[str, Any]) -> None:
             _need(row, "steals", dict, wpath)
         _need(q, "steals", dict, qpath)
         _need(q, "levels", list, qpath)
+
+
+#: request-accounting keys every service payload must break down
+SERVICE_COUNT_KEYS = (
+    "total", "ok", "exact", "cached", "replayed", "degraded",
+    "shed", "rejected_tenant", "deadline_exceeded", "failed",
+)
+
+#: latency summary keys (milliseconds of host wall-clock)
+SERVICE_LATENCY_KEYS = ("p50", "p99", "mean", "max")
+
+
+def validate_service_report(payload: dict[str, Any]) -> None:
+    """Validate a ``BENCH_serve.json`` payload (the serve CLI gate).
+
+    Structural checks plus the invariants a load run must never lose:
+    the accounting adds up, p50 ≤ p99, every chaos-phase countable
+    response matched its golden count (``identity_ok``), and degraded
+    or shed responses were always explicitly marked
+    (``accounting_ok``).  Absolute latency and throughput are *not*
+    checked here — they are machine-dependent; the regression gate
+    checks only their presence and sanity.
+    """
+    path = "serve"
+    version = _need(payload, "schema_version", int, path)
+    if version != SCHEMA_VERSION:
+        _fail(f"{path}.schema_version",
+              f"expected {SCHEMA_VERSION}, got {version}")
+    if _need(payload, "experiment", str, path) != "serve":
+        _fail(f"{path}.experiment", "expected 'serve'")
+    _need(payload, "seed", int, path)
+    if _need(payload, "clients", int, path) < 1:
+        _fail(f"{path}.clients", "need at least one client")
+    requests = _need(payload, "requests", dict, path)
+    for k in SERVICE_COUNT_KEYS:
+        if _need(requests, k, int, f"{path}.requests") < 0:
+            _fail(f"{path}.requests.{k}", "negative count")
+    terminal = sum(requests[k] for k in
+                   ("ok", "shed", "rejected_tenant", "deadline_exceeded",
+                    "failed"))
+    if terminal != requests["total"]:
+        _fail(f"{path}.requests",
+              f"terminal statuses sum to {terminal}, total says "
+              f"{requests['total']} — responses were lost or double-counted")
+    latency = _need(payload, "latency_ms", dict, path)
+    for k in SERVICE_LATENCY_KEYS:
+        if _need(latency, k, (int, float), f"{path}.latency_ms") < 0:
+            _fail(f"{path}.latency_ms.{k}", "negative latency")
+    if latency["p50"] > latency["p99"]:
+        _fail(f"{path}.latency_ms", "p50 exceeds p99")
+    if _need(payload, "throughput_rps", (int, float), path) < 0:
+        _fail(f"{path}.throughput_rps", "negative throughput")
+    shed_rate = _need(payload, "shed_rate", (int, float), path)
+    if not 0.0 <= shed_rate <= 1.0:
+        _fail(f"{path}.shed_rate", f"{shed_rate} outside [0, 1]")
+    breaker = _need(payload, "breaker", dict, path)
+    transitions = _need(breaker, "transitions", list, f"{path}.breaker")
+    for i, t in enumerate(transitions):
+        tpath = f"{path}.breaker.transitions[{i}]"
+        if not isinstance(t, dict):
+            _fail(tpath, "expected dict")
+        _need(t, "from", str, tpath)
+        _need(t, "to", str, tpath)
+    cache = _need(payload, "cache", dict, path)
+    for k in ("hits", "misses", "evictions", "size", "capacity"):
+        _need(cache, k, int, f"{path}.cache")
+    _need(payload, "pool", dict, path)
+    if _need(payload, "identity_ok", bool, path) is not True:
+        _fail(f"{path}.identity_ok",
+              "a countable response disagreed with its golden count")
+    if _need(payload, "accounting_ok", bool, path) is not True:
+        _fail(f"{path}.accounting_ok",
+              "a degraded or shed response was not explicitly marked")
+    chaos = _need(payload, "chaos", dict, path)
+    cpath = f"{path}.chaos"
+    for k in ("requests", "countable", "degraded"):
+        if _need(chaos, k, int, cpath) < 0:
+            _fail(f"{cpath}.{k}", "negative count")
+    if _need(chaos, "identity_ok", bool, cpath) is not True:
+        _fail(f"{cpath}.identity_ok",
+              "a chaos-phase countable response disagreed with its "
+              "golden count")
+    _need(chaos, "breaker_opened", bool, cpath)

@@ -20,8 +20,11 @@ loses.
 """
 
 from .executor import (
+    POOL_REGISTRY_MAX,
     ShardSpec,
     default_num_workers,
+    is_pool_infra_failure,
+    pool_stats,
     resolve_execution,
     run_shards,
     shutdown_pools,
@@ -34,11 +37,14 @@ from .sharedgraph import (
 )
 
 __all__ = [
+    "POOL_REGISTRY_MAX",
     "ShardSpec",
     "SharedGraphHandle",
     "attach_graph",
     "default_num_workers",
     "export_graph",
+    "is_pool_infra_failure",
+    "pool_stats",
     "release_exports",
     "resolve_execution",
     "run_shards",

@@ -35,24 +35,43 @@ backend without touching call sites).
 
 Crash containment
 -----------------
-A worker that dies (``BrokenProcessPool``) or a batch that exceeds
-``worker_timeout_s`` surfaces as ``FAILED`` shard results with a
-non-empty ``detail`` — never a hang or a silent zero count — and the
-poisoned pool is discarded so the next batch gets a fresh one.  Callers
-re-queue those shards onto survivors (``run_multi_gpu``'s existing
-recovery path).  ``FaultKind.WORKER_CRASH`` events let tests and chaos
-sweeps schedule such deaths deterministically.
+A worker that dies (``BrokenProcessPool``) surfaces as a ``FAILED``
+shard result and a batch that exceeds ``worker_timeout_s`` marks the
+unfinished shards ``TIMEOUT`` *individually* — shards that already
+completed keep their real results (batch-deadline fairness; pinned by
+``tests/test_parallel_deadline.py``) — always with a non-empty
+``detail``, never a hang or a silent zero count.  The poisoned pool is
+discarded so the next batch gets a fresh one.  Callers re-queue those
+shards onto survivors (``run_multi_gpu``'s existing recovery path).
+``FaultKind.WORKER_CRASH`` / ``FaultKind.WORKER_STALL`` events let
+tests and chaos sweeps schedule deaths and stalls deterministically.
+:func:`is_pool_infra_failure` distinguishes those pool-infrastructure
+outcomes from real kernel failures — it is what the serve layer's
+circuit breaker counts.
+
+Pool registry
+-------------
+Pools are persistent but *bounded*: the registry keeps at most
+``POOL_REGISTRY_MAX`` distinct worker counts alive, evicting (and
+shutting down) the least-recently-used pool beyond that, so a
+long-lived service whose requests vary ``num_workers`` never
+accumulates orphaned worker processes.  ``pool_stats()`` snapshots the
+registry for the circuit breaker and obs reports; everything is
+guarded by one lock because the serve layer calls in from multiple
+request threads.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.counters import RunResult, RunStatus
 
@@ -66,8 +85,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pattern.plan import MatchingPlan
 
 __all__ = [
+    "POOL_REGISTRY_MAX",
     "ShardSpec",
     "default_num_workers",
+    "is_pool_infra_failure",
+    "pool_stats",
     "resolve_execution",
     "run_shards",
     "shutdown_pools",
@@ -179,31 +201,55 @@ def _worker_shard(
     fault_plan: "FaultPlan | None",
 ) -> RunResult:
     """Worker-process entry: attach the shared graph, run the shard."""
-    if fault_plan is not None and fault_plan.worker_crash(
-        spec.device_id, spec.attempt_offset
-    ):
-        # scheduled hard process death: no cleanup, no result — the
-        # parent sees BrokenProcessPool, exactly like a real crash
-        os._exit(CRASH_EXIT_CODE)
+    if fault_plan is not None:
+        if fault_plan.worker_crash(spec.device_id, spec.attempt_offset):
+            # scheduled hard process death: no cleanup, no result — the
+            # parent sees BrokenProcessPool, exactly like a real crash
+            os._exit(CRASH_EXIT_CODE)
+        stall = fault_plan.worker_stall_s(spec.device_id, spec.attempt_offset)
+        if stall > 0:
+            # wedge the worker *before* the shard runs: the simulated
+            # clock never advances, only the parent's batch deadline
+            time.sleep(stall)
     graph = attach_graph(handle)
     return _execute_shard(graph, plan, config, spec, fault_plan)
 
 
 # -- persistent pools --------------------------------------------------------
 
-_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: max distinct worker-count pools kept alive at once (LRU beyond this)
+POOL_REGISTRY_MAX = 4
+
+_POOLS: OrderedDict[int, ProcessPoolExecutor] = OrderedDict()
+_POOLS_LOCK = threading.Lock()
+_POOL_EVICTIONS = 0  # pools shut down by LRU bounding
+_POOL_DISCARDS = 0  # pools shut down as poisoned
 
 
 def _pool(num_workers: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(num_workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=num_workers)
-        _POOLS[num_workers] = pool
+    global _POOL_EVICTIONS
+    evicted: list[ProcessPoolExecutor] = []
+    with _POOLS_LOCK:
+        pool = _POOLS.get(num_workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=num_workers)
+            _POOLS[num_workers] = pool
+        _POOLS.move_to_end(num_workers)
+        while len(_POOLS) > POOL_REGISTRY_MAX:
+            _, idle = _POOLS.popitem(last=False)
+            evicted.append(idle)
+            _POOL_EVICTIONS += 1
+    for idle in evicted:  # shut down outside the lock
+        idle.shutdown(wait=False, cancel_futures=True)
     return pool
 
 
 def _discard_pool(num_workers: int) -> None:
-    pool = _POOLS.pop(num_workers, None)
+    global _POOL_DISCARDS
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(num_workers, None)
+        if pool is not None:
+            _POOL_DISCARDS += 1
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -211,15 +257,54 @@ def _discard_pool(num_workers: int) -> None:
 def shutdown_pools() -> None:
     """Shut down every persistent pool (atexit backstop; tests use it
     to force fresh workers)."""
-    for n in list(_POOLS):
-        _discard_pool(n)
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def pool_stats() -> dict[str, Any]:
+    """Snapshot of the pool registry — sizes for obs reports, eviction
+    and discard counters for the serve layer's breaker telemetry."""
+    with _POOLS_LOCK:
+        return {
+            "live_pools": len(_POOLS),
+            "worker_counts": sorted(_POOLS),
+            "capacity": POOL_REGISTRY_MAX,
+            "evictions": _POOL_EVICTIONS,
+            "discards": _POOL_DISCARDS,
+        }
 
 
 atexit.register(shutdown_pools)
 
 
+#: detail prefixes of the two pool-infrastructure failure modes —
+#: stable strings the breaker (and tests) key off
+TIMEOUT_DETAIL_PREFIX = "worker wall-clock timeout"
+WORKER_DEATH_DETAIL_PREFIX = "worker process died"
+
+
+def is_pool_infra_failure(result: RunResult) -> bool:
+    """Whether ``result`` reports a *pool-infrastructure* failure (a
+    dead worker process or an exceeded batch deadline) rather than a
+    kernel-level outcome.  These are the failures the serve layer's
+    circuit breaker counts: they say the pool is unhealthy, not that
+    the query is bad."""
+    if result.status is RunStatus.TIMEOUT:
+        return result.detail.startswith(TIMEOUT_DETAIL_PREFIX)
+    if result.status is RunStatus.FAILED:
+        return result.detail.startswith(WORKER_DEATH_DETAIL_PREFIX)
+    return False
+
+
 def _failed(spec: ShardSpec, detail: str) -> RunResult:
     return RunResult(system="stmatch", status=RunStatus.FAILED, detail=detail)
+
+
+def _timed_out(spec: ShardSpec, detail: str) -> RunResult:
+    return RunResult(system="stmatch", status=RunStatus.TIMEOUT, detail=detail)
 
 
 def run_shards(
@@ -231,16 +316,21 @@ def run_shards(
     fault_plan: "FaultPlan | None" = None,
     timeout_s: float | None = None,
     protocol_log: "SupportsEmit | None" = None,
+    in_process_fallback: bool = True,
 ) -> list[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
     With ``num_workers <= 1`` or a single spec the shards run
-    in-process (serial fast fallback — no pool is spawned); otherwise
-    they are fanned out onto the persistent pool over the shared-memory
-    graph.  Pool-infrastructure failures (a dead worker, an exceeded
-    ``timeout_s``) come back as ``FAILED`` results with a non-empty
-    ``detail``; errors raised *by the shard itself* (e.g. a
-    ``SanitizerError``) propagate, exactly as serial execution would.
+    in-process (serial fast fallback — no pool is spawned); pass
+    ``in_process_fallback=False`` to force pool execution even then
+    (the serve layer does: a single-shard request must still hit the
+    pool so deadlines and crash containment apply).  Otherwise shards
+    fan out onto the persistent pool over the shared-memory graph.
+    A dead worker comes back as ``FAILED``, an exceeded ``timeout_s``
+    as ``TIMEOUT`` — both with a non-empty ``detail``
+    (:func:`is_pool_infra_failure` recognises them); errors raised *by
+    the shard itself* (e.g. a ``SanitizerError``) propagate, exactly as
+    serial execution would.
 
     ``protocol_log`` (duck-typed ``emit``) records every pool teardown
     — the event the happens-before checker orders worker-result absorbs
@@ -253,10 +343,15 @@ def run_shards(
 
     if not specs:
         return []
-    if num_workers <= 1 or len(specs) <= 1:
+    if in_process_fallback and (num_workers <= 1 or len(specs) <= 1):
         return [_execute_shard(graph, plan, config, s, fault_plan) for s in specs]
     handle = export_graph(graph)
-    workers = min(num_workers, len(specs))
+    # One-shot batches size the pool to the work on hand (idle workers
+    # are waste).  A caller that disabled the fallback is a long-lived
+    # service sharing one pool across concurrent single-shard requests,
+    # so it gets the full complement — clamping to len(specs) would
+    # serialize independent requests on a one-worker pool.
+    workers = num_workers if not in_process_fallback else min(num_workers, len(specs))
     pool = _pool(workers)
     try:
         futures = [
@@ -285,9 +380,9 @@ def run_shards(
             results.append(fut.result(timeout=remaining))
         except FuturesTimeoutError:
             broken = True
-            results.append(_failed(
+            results.append(_timed_out(
                 spec,
-                f"worker wall-clock timeout: shard {spec.index} (device "
+                f"{TIMEOUT_DETAIL_PREFIX}: shard {spec.index} (device "
                 f"{spec.device_id}) unfinished after {timeout_s}s",
             ))
         except BrokenExecutor as e:
@@ -295,8 +390,9 @@ def run_shards(
             pool_deaths.append(pos)
             results.append(_failed(
                 spec,
-                f"worker process died running shard {spec.index} (device "
-                f"{spec.device_id}): {e or 'process pool terminated abruptly'}",
+                f"{WORKER_DEATH_DETAIL_PREFIX} running shard {spec.index} "
+                f"(device {spec.device_id}): "
+                f"{e or 'process pool terminated abruptly'}",
             ))
         except BaseException:
             for f in futures:
@@ -326,17 +422,17 @@ def run_shards(
                     _worker_shard, handle, plan, config, spec, fault_plan
                 ).result(timeout=remaining)
             except FuturesTimeoutError:
-                results[pos] = _failed(
+                results[pos] = _timed_out(
                     spec,
-                    f"worker wall-clock timeout: shard {spec.index} (device "
+                    f"{TIMEOUT_DETAIL_PREFIX}: shard {spec.index} (device "
                     f"{spec.device_id}) unfinished after {timeout_s}s "
                     "(isolation replay)",
                 )
             except BrokenExecutor as e:
                 results[pos] = _failed(
                     spec,
-                    f"worker process died running shard {spec.index} (device "
-                    f"{spec.device_id}), reproduced in isolation: "
+                    f"{WORKER_DEATH_DETAIL_PREFIX} running shard {spec.index} "
+                    f"(device {spec.device_id}), reproduced in isolation: "
                     f"{e or 'process pool terminated abruptly'}",
                 )
             finally:

@@ -177,6 +177,68 @@ def test_absorb_after_teardown_with_collected_result_is_clean():
     assert not list(check_protocol(log))
 
 
+# -- mutation gate: X511 (request-scoped exactly-once) ----------------------
+
+
+KEY = ("request", "retry-1")
+
+
+def test_clean_request_lifecycle_is_silent():
+    """admit → commit → replay (a retried client) is the contract."""
+    log = ProtocolLog()
+    log.emit("request_admit", key=KEY, tenant="t")
+    log.emit("request_commit", key=KEY, matches=7, exact=True)
+    log.emit("request_replay", key=KEY)
+    log.emit("request_replay", key=KEY)  # replays may repeat freely
+    assert not list(check_protocol(log))
+
+
+def test_seeded_double_commit_trips_x511():
+    """Bug: a retried request re-executed and committed twice — the
+    client's idempotent retry was double-counted."""
+    log = ProtocolLog()
+    log.emit("request_admit", key=KEY)
+    log.emit("request_commit", key=KEY, matches=7)
+    log.emit("request_commit", key=KEY, matches=7)
+    assert errors_of(check_protocol(log)) == {"X511"}
+
+
+def test_seeded_replay_without_commit_trips_x511():
+    """Bug: a replay served from the window for a key that never
+    committed — the response has no provenance."""
+    log = ProtocolLog()
+    log.emit("request_replay", key=KEY)
+    assert errors_of(check_protocol(log)) == {"X511"}
+
+
+def test_seeded_shed_after_commit_trips_x511():
+    """Bug: a retry of an already-counted request was shed — the client
+    sees a rejection for work that was counted."""
+    log = ProtocolLog()
+    log.emit("request_commit", key=KEY, matches=7)
+    log.emit("request_shed", key=KEY, status="rejected_overload")
+    assert errors_of(check_protocol(log)) == {"X511"}
+
+
+def test_forget_resets_the_request_key():
+    """Window eviction (ledger_forget) makes the key a stranger again:
+    a later commit or shed is legitimate, a later replay is not."""
+    log = ProtocolLog()
+    log.emit("request_commit", key=KEY, matches=7)
+    log.emit("ledger_forget", key=KEY)
+    log.emit("request_shed", key=KEY, status="rejected_overload")
+    log.emit("request_commit", key=KEY, matches=7)
+    assert not list(check_protocol(log))
+    log.emit("ledger_forget", key=KEY)
+    log.emit("request_replay", key=KEY)
+    assert errors_of(check_protocol(log)) == {"X511"}
+
+
+def test_x511_registered_with_fix_hint():
+    info = RULE_REGISTRY["X511"]
+    assert info.summary and info.fix_hint
+
+
 # -- mutation gate: X508 (checkpoint inside a donation window) --------------
 
 

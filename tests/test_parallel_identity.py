@@ -229,8 +229,8 @@ def test_worker_crash_raw_shard_surface(graphs):
     assert results[1].status == RunStatus.OK  # isolation replay saved it
 
 
-def test_batch_timeout_surfaces_failed(graphs):
-    """An expired worker_timeout_s surfaces FAILED with detail (the
+def test_batch_timeout_surfaces_timeout(graphs):
+    """An expired worker_timeout_s surfaces TIMEOUT with detail (the
     deadline here is impossible, so every shard trips it)."""
     graph, query = graphs["sparse"], QUERIES["q1"]
     plan = STMatchEngine(graph, EngineConfig()).plan(query)
@@ -238,8 +238,9 @@ def test_batch_timeout_surfaces_failed(graphs):
              for d in range(2)]
     results = run_shards(graph, plan, EngineConfig(), specs,
                          num_workers=2, timeout_s=1e-9)
-    assert all(r.status == RunStatus.FAILED for r in results)
+    assert all(r.status == RunStatus.TIMEOUT for r in results)
     assert all("timeout" in r.detail for r in results)
+    assert all(executor_mod.is_pool_infra_failure(r) for r in results)
 
 
 # -- serial fast fallback + resolution ---------------------------------------

@@ -1,0 +1,144 @@
+"""Circuit breaker state machine (repro.serve.breaker).
+
+Driven entirely through a manual clock, so every cooldown transition
+is deterministic: CLOSED opens after K *consecutive* failures, OPEN
+half-opens after the cooldown, HALF_OPEN closes on a probe success and
+re-opens on a probe failure, and the probe quota bounds concurrent
+probes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import BreakerState, CircuitBreaker
+
+
+def make(threshold: int = 3, cooldown: float = 5.0, quota: int = 1):
+    clk = [0.0]
+    b = CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown,
+                       probe_quota=quota, clock=lambda: clk[0])
+    return b, clk
+
+
+class TestClosedToOpen:
+    def test_starts_closed_and_allows(self):
+        b, _ = make()
+        assert b.state == BreakerState.CLOSED
+        assert b.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b, _ = make(threshold=3)
+        b.record_failure("boom")
+        b.record_failure("boom")
+        assert b.state == BreakerState.CLOSED
+        b.record_failure("boom")
+        assert b.state == BreakerState.OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        b, _ = make(threshold=2)
+        b.record_failure("a")
+        b.record_success()
+        b.record_failure("b")
+        assert b.state == BreakerState.CLOSED  # never 2 in a row
+
+    def test_open_records_transition_with_reason(self):
+        b, _ = make(threshold=1)
+        b.record_failure("worker died")
+        (t,) = b.transitions
+        assert t["from"] == BreakerState.CLOSED
+        assert t["to"] == BreakerState.OPEN
+        assert "worker died" in t["reason"]
+
+
+class TestHalfOpenCycle:
+    def test_half_opens_after_cooldown(self):
+        b, clk = make(threshold=1, cooldown=5.0)
+        b.record_failure("x")
+        assert not b.allow()
+        clk[0] = 4.9
+        assert b.state == BreakerState.OPEN
+        clk[0] = 5.0
+        assert b.state == BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        b, clk = make(threshold=1)
+        b.record_failure("x")
+        clk[0] = 6.0
+        assert b.allow()  # the probe
+        b.record_success()
+        assert b.state == BreakerState.CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens_immediately(self):
+        b, clk = make(threshold=3)
+        for _ in range(3):
+            b.record_failure("x")
+        clk[0] = 6.0
+        assert b.allow()
+        b.record_failure("probe died")
+        assert b.state == BreakerState.OPEN
+        # a fresh cooldown applies from the re-open
+        clk[0] = 10.9
+        assert not b.allow()
+        clk[0] = 11.0
+        assert b.allow()
+
+    def test_probe_quota_bounds_concurrent_probes(self):
+        b, clk = make(threshold=1, quota=2)
+        b.record_failure("x")
+        clk[0] = 6.0
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # quota exhausted until a probe reports
+
+    def test_full_lifecycle_transition_trail(self):
+        b, clk = make(threshold=1)
+        b.record_failure("x")
+        clk[0] = 6.0
+        assert b.allow()
+        b.record_success()
+        trail = [(t["from"], t["to"]) for t in b.transitions]
+        assert trail == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+
+class TestStatsAndValidation:
+    def test_stats_counts_transitions(self):
+        b, clk = make(threshold=1)
+        b.record_failure("x")
+        clk[0] = 6.0
+        b.allow()
+        b.record_success()
+        s = b.stats()
+        assert s["state"] == BreakerState.CLOSED
+        assert s["opens"] == 1 and s["half_opens"] == 1 and s["closes"] == 1
+        assert s["failure_threshold"] == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown_s": 0.0},
+        {"probe_quota": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_thread_safety_no_lost_failures(self):
+        # N threads each record one failure; the breaker must have
+        # counted them all (opens exactly once, state is OPEN)
+        b, _ = make(threshold=8, cooldown=100.0)
+        threads = [threading.Thread(target=b.record_failure, args=("t",))
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.state == BreakerState.OPEN
+        assert b.stats()["consecutive_failures"] == 8
