@@ -38,6 +38,14 @@ Three modes:
   concurrent clients (default 4).  Absolute latency/throughput are
   recorded, never gated — they are machine-dependent.
 
+* ``check_bench_regression.py --dynamic BENCH_dynamic.json`` —
+  validate a ``python -m repro.bench dynamic`` payload: every cell must
+  report ``base + delta.net == recount`` (the incremental counter
+  agrees with a from-scratch count of the mutated graph) and the
+  geomean speedup of delta exploration over full recounts on
+  small-batch cells must reach ``--min-dynamic-speedup`` (default 3.0
+  — delta anchoring is pointless if it does not beat recounting).
+
 * ``check_bench_regression.py --parallel BENCH_parallel.json`` —
   validate a ``python -m repro.bench parallel`` payload: every
   (workload, worker-count) point must report byte-identical matches
@@ -261,6 +269,44 @@ def check_serve(path: str, min_clients: int) -> list[str]:
     return problems
 
 
+def check_dynamic(path: str, min_speedup: float) -> list[str]:
+    """Validate a ``repro.bench dynamic`` payload (identity + small-batch
+    speedup floor)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if payload.get("experiment") != "dynamic" or "workloads" not in payload:
+        print(f"error: {path} is not a dynamic bench payload", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    small_max = payload.get("small_batch_max", 4)
+    small = 0
+    for w in payload["workloads"]:
+        where = f"{w['key']}@{w.get('batch_size')}edits"
+        if not w.get("identical_counts", False):
+            problems.append(
+                f"{where}: incremental delta disagrees with the full recount")
+        if w.get("anchor_runs", 0) < 1:
+            problems.append(f"{where}: no anchored launches recorded")
+        small += w.get("batch_size", small_max + 1) <= small_max
+    if not small:
+        problems.append(
+            f"payload has no small-batch cells (<= {small_max} edits) — "
+            "nothing feeds the gate")
+    gm = payload.get("geomean_speedup_small_batch")
+    if gm is None:
+        problems.append("payload has no geomean_speedup_small_batch")
+    elif gm < min_speedup:
+        problems.append(
+            f"small-batch geomean speedup {gm}× is below the "
+            f"{min_speedup}× floor — delta exploration no longer beats "
+            f"a full recount")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="baseline JSON (or the only file to validate)")
@@ -293,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="parallel mode: required geomean speedup at 4 "
                         "workers on a >= 4-core host (default 2.5); scaled "
                         "down by min(4, cpu_count)/4 on smaller hosts")
+    p.add_argument("--dynamic", action="store_true",
+                   help="treat the file as a BENCH_dynamic.json payload: "
+                        "check incremental-vs-recount identity per cell and "
+                        "the small-batch geomean speedup floor")
+    p.add_argument("--min-dynamic-speedup", type=float, default=3.0,
+                   help="dynamic mode: required geomean speedup of "
+                        "incremental deltas over full recounts on "
+                        "small batches (default 3.0)")
     p.add_argument("--serve", action="store_true",
                    help="treat the file as a BENCH_serve.json payload: "
                         "validate the service schema, identity/accounting "
@@ -319,6 +373,22 @@ def main(argv: list[str] | None = None) -> int:
               f"{payload['latency_ms']['p50']:.2f} ms, p99 "
               f"{payload['latency_ms']['p99']:.2f} ms, breaker "
               f"opened+closed, identity and accounting invariants hold")
+        return 0
+
+    if args.dynamic:
+        if args.current is not None:
+            p.error("--dynamic takes a single file")
+        problems = check_dynamic(args.baseline, args.min_dynamic_speedup)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        print(f"ok: dynamic payload valid, {len(payload['workloads'])} "
+              f"cell(s), small-batch geomean speedup "
+              f"{payload.get('geomean_speedup_small_batch')}×, "
+              f"incremental counts identical to full recounts")
         return 0
 
     if args.codegen:

@@ -14,6 +14,9 @@ Three layers of correctness infrastructure over the matching pipeline:
    (``EngineConfig.sanitize``) checking the two-level work-stealing
    protocol: segment disjointness, conservation, stop-level legality,
    frame invariants and root-vertex conservation.
+4. :mod:`repro.analysis.overlay` — a delta-invariant linter for the
+   batch-dynamic overlay graphs (sorted/deduped arcs, disjoint
+   insert/delete sets, effective deltas, arc symmetry; D601–D605).
 
 CLI: ``python -m repro.analysis lint <pattern> [--graph ...]``.
 """
@@ -27,6 +30,7 @@ from .diagnostics import (
     PlanVerificationError,
     Severity,
 )
+from .overlay import lint_overlay
 from .sanitizer import SanitizerError, StealSanitizer
 from .verify import earliest_level, structural_groups, verify_plan, verify_program
 
@@ -44,6 +48,7 @@ __all__ = [
     "estimate_budget",
     "lint_budget",
     "max_fitting_unroll",
+    "lint_overlay",
     "SanitizerError",
     "StealSanitizer",
     "lint_plan",

@@ -72,7 +72,8 @@ def _rules(category: str, owner: str, entries: dict[str, tuple[str, str]]) -> li
 #: verifier owns P* (program structure), S* (symmetry restrictions) and
 #: L30x (label filters); the lifetime/aliasing pass owns L305–L308; the
 #: budget linter owns B*; the runtime sanitizer and the happens-before
-#: checker report under X* ids.  Append-only.
+#: checker report under X* ids; the overlay-delta linter owns D6xx.
+#: Append-only.
 RULE_REGISTRY: dict[str, RuleInfo] = {
     info.rule: info
     for group in (
@@ -162,6 +163,24 @@ RULE_REGISTRY: dict[str, RuleInfo] = {
                      "every issued root must be consumed by exactly one stack"),
             "X506": ("match double-counted (or lost) across failure recoveries",
                      "commit each logical root range exactly once; dead launches report 0"),
+        }),
+        _rules("overlay deltas (batch-dynamic)", "repro.analysis.overlay", {
+            "D601": ("delta arcs must be lexicographically sorted and duplicate-free",
+                     "build deltas through EditBatch/OverlayGraph.from_edits instead of "
+                     "hand-assembling arc arrays"),
+            "D602": ("insert and delete deltas overlap (same arc on both sides)",
+                     "normalize delete-then-insert batches with "
+                     "EditBatch.normalized_against before overlaying"),
+            "D603": ("phantom delta: insert already in the base, or delete absent "
+                     "from it",
+                     "normalize the batch against the base so every delta arc is "
+                     "effective"),
+            "D604": ("undirected delta stores only one direction of an arc",
+                     "expand canonical u<v edges to symmetric arc pairs "
+                     "(OverlayGraph.from_edits does this)"),
+            "D605": ("malformed delta arcs (shape, endpoint range, or self-loop)",
+                     "delta arrays must be (m, 2) int64 with endpoints in [0, n) "
+                     "and no self-loops"),
         }),
         _rules("happens-before (concurrency)", "repro.analysis.races.hb", {
             "X507": ("count committed before its frame's steal is ordered "

@@ -1,0 +1,59 @@
+"""Static linter for delta-overlay graphs (rules D601–D605).
+
+The batch-dynamic layer (:mod:`repro.dynamic`) keeps every graph
+mutation as sorted insert/delete arc deltas over an immutable CSR
+base.  The whole read API — and therefore every count that runs on an
+overlay — silently assumes the delta invariants hold: sorted and
+duplicate-free arcs (binary-searchable rows), disjoint insert/delete
+sets (unambiguous membership), effective deltas (degree arithmetic),
+symmetric arc pairs on undirected graphs.  A hand-assembled or
+corrupted delta does not crash; it *miscounts*.  This linter turns
+each violated invariant into a structured :class:`Diagnostic` so the
+corruption is caught before a kernel runs on it.
+
+Rule map (all errors — every one of these makes counts wrong):
+
+=====  ==============================================================
+D601   delta arcs unsorted or duplicated
+D602   insert ∩ delete overlap
+D603   phantom delta (insert already present / delete absent in base)
+D604   undirected delta missing an arc's reverse direction
+D605   malformed arcs (shape, endpoint range, self-loop)
+=====  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import DiagnosticReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dynamic.overlay import OverlayGraph
+
+__all__ = ["KIND_TO_RULE", "lint_overlay"]
+
+#: :meth:`OverlayGraph.violations` kind -> diagnostic rule id
+KIND_TO_RULE: dict[str, str] = {
+    "unsorted": "D601",
+    "overlap": "D602",
+    "phantom": "D603",
+    "asymmetric": "D604",
+    "malformed": "D605",
+}
+
+
+def lint_overlay(overlay: "OverlayGraph") -> DiagnosticReport:
+    """Check ``overlay``'s delta arrays against the D601–D605 invariants.
+
+    Every violation is an :attr:`Severity.ERROR` — unlike the budget
+    linter's advisory findings, a broken delta invariant means reads
+    (and therefore counts) on this overlay are untrustworthy.
+    """
+    report = DiagnosticReport(subject=f"overlay:{overlay.name}")
+    for kind, location, message in overlay.violations():
+        rule = KIND_TO_RULE.get(kind)
+        if rule is None:  # future-proofing: surface unknown kinds loudly
+            raise ValueError(f"unknown overlay violation kind {kind!r}")
+        report.add(rule, Severity.ERROR, location, message)
+    return report

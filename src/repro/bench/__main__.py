@@ -15,6 +15,7 @@ Examples::
     python -m repro.bench profile --json BENCH_profile.json
     python -m repro.bench chaos --seed-sweep 10
     python -m repro.bench serve --clients 8 --json BENCH_serve.json
+    python -m repro.bench dynamic --json BENCH_dynamic.json
 
 For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
 ``wiki_vote/q1 mico/q4``) and ``--json`` writes the A/B payload that
@@ -80,6 +81,10 @@ EXPERIMENTS = {
         query=(a.queries or ["q1"])[0],
         scale=a.scale or "tiny",
         seed_base=a.seed_base,
+    ),
+    "dynamic": lambda a: experiments.dynamic_bench(
+        queries=a.queries,
+        seed=a.seed_base,
     ),
     "serve": lambda a: experiments.serve_bench(
         clients=a.clients,

@@ -1228,3 +1228,139 @@ def serve_bench(
     }
     validate_service_report(data)
     return ExperimentResult(experiment="serve", rendered=t.render(), data=data)
+
+
+# ---------------------------------------------------------------------------
+# Batch-dynamic — incremental delta counts vs full recount (repro.dynamic)
+# ---------------------------------------------------------------------------
+
+#: synthetic graph for the dynamic A/B: dense enough that a full
+#: recount dwarfs a handful of anchored launches
+DYNAMIC_GRAPH: tuple[str, int, int, float, int] = ("plc_dyn", 72, 4, 0.3, 23)
+
+DYNAMIC_QUERIES: tuple[str, ...] = ("q1", "q4", "q9")
+
+#: edit-batch sizes swept per query (edges touched, split half
+#: deletes / half inserts); the small-batch gate covers sizes <= 4
+DYNAMIC_BATCH_SIZES: tuple[int, ...] = (1, 4, 8)
+
+DYNAMIC_SMALL_BATCH_MAX = 4
+
+
+def dynamic_bench(
+    queries: list[str] | None = None,
+    batch_sizes: tuple[int, ...] = DYNAMIC_BATCH_SIZES,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Wall-clock A/B of incremental counting vs full recount.
+
+    For every (query, batch size) cell a seeded edit batch is applied
+    two ways to the same base graph: ``repro.dynamic.count_delta``
+    (anchored launches at each changed edge, best of ``repeats``) and
+    the mutation-oblivious alternative — compact the overlay into a
+    fresh CSR and recount from scratch.  Every cell asserts the
+    three-way identity ``base + delta.net == recount``
+    (``identical_counts``); cells with ``batch_size <=
+    DYNAMIC_SMALL_BATCH_MAX`` feed ``geomean_speedup_small_batch``,
+    the ``scripts/check_bench_regression.py --dynamic`` CI gate.  The
+    ``data`` dict is the BENCH_dynamic.json payload.
+    """
+    import time as _time
+
+    import numpy as _np
+
+    from repro.dynamic import EditBatch, OverlayGraph, count_delta
+    from repro.graph.generators import powerlaw_cluster
+    from repro.pattern import QUERIES
+
+    qnames = list(queries) if queries else list(DYNAMIC_QUERIES)
+    name, n, m, p_tri, gseed = DYNAMIC_GRAPH
+    graph = powerlaw_cluster(n, m=m, p_triangle=p_tri, seed=gseed, name=name)
+    t = TextTable(
+        title=f"Batch-dynamic wall clock (graph={name}, repeats={repeats})",
+        columns=["query", "batch", "base", "net", "delta s", "recount s",
+                 "speedup", "identical"],
+    )
+    rows: list[dict] = []
+
+    def seeded_batch(batch_size: int, cell_seed: int) -> EditBatch:
+        rng = _np.random.default_rng(cell_seed)
+        nd = max(1, batch_size // 2)
+        ni = batch_size - nd
+        existing = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+        picks = rng.choice(len(existing), nd, replace=False)
+        deletes = [existing[int(i)] for i in sorted(int(i) for i in picks)]
+        inserts: list[tuple[int, int]] = []
+        present = set(existing)
+        while len(inserts) < ni:
+            u, v = sorted(int(x) for x in rng.integers(0, n, 2))
+            if u != v and (u, v) not in present and (u, v) not in inserts:
+                inserts.append((u, v))
+        return EditBatch.from_lists(inserts=inserts, deletes=deletes)
+
+    for qi, qn in enumerate(qnames):
+        query = QUERIES[qn]
+        base = STMatchEngine(graph).count(query)
+        for batch_size in batch_sizes:
+            batch = seeded_batch(batch_size, 1000 * seed + 100 * qi + batch_size)
+            # incremental arm: anchored launches only (the overlay IS
+            # the post-batch state, no compaction required to answer)
+            best_inc = float("inf")
+            delta = None
+            for _ in range(max(repeats, 1)):
+                t0 = _time.perf_counter()
+                delta, _mutated = count_delta(graph, query, batch)
+                best_inc = min(best_inc, _time.perf_counter() - t0)
+            # recount arm: what a mutation-oblivious service pays —
+            # materialize the mutated graph and count from scratch
+            best_rec = float("inf")
+            recount = None
+            for _ in range(max(repeats, 1)):
+                t0 = _time.perf_counter()
+                compacted = OverlayGraph.from_edits(graph, batch).compact()
+                recount = STMatchEngine(compacted).count(query)
+                best_rec = min(best_rec, _time.perf_counter() - t0)
+            identical = base + delta.net == recount
+            speedup = best_rec / best_inc if best_inc else float("inf")
+            row = {
+                "key": f"{name}/{qn}",
+                "query": qn,
+                "batch_size": batch_size,
+                "num_inserts": delta.num_inserts,
+                "num_deletes": delta.num_deletes,
+                "base": base,
+                "net": delta.net,
+                "recount": recount,
+                "anchor_runs": delta.anchor_runs,
+                "wall_s_incremental": round(best_inc, 5),
+                "wall_s_recount": round(best_rec, 5),
+                "speedup": round(speedup, 3),
+                "identical_counts": identical,
+            }
+            rows.append(row)
+            t.add_row(qn, batch_size, base, f"{delta.net:+d}",
+                      f"{best_inc:.3f}", f"{best_rec:.3f}",
+                      f"{speedup:.2f}×", "yes" if identical else "NO")
+
+    speedups = [r["speedup"] for r in rows]
+    small = [r["speedup"] for r in rows
+             if r["batch_size"] <= DYNAMIC_SMALL_BATCH_MAX]
+    gm = geomean(speedups) if speedups else float("nan")
+    gm_small = geomean(small) if small else float("nan")
+    t.add_note(f"geomean speedup {gm:.2f}× (small batches <= "
+               f"{DYNAMIC_SMALL_BATCH_MAX} edits: {gm_small:.2f}×) — "
+               "identical asserts base + delta.net == full recount; "
+               "small-batch rows feed the CI gate")
+    data = {
+        "experiment": "dynamic",
+        "graph": {"name": name, "num_vertices": n, "m": m,
+                  "p_triangle": p_tri, "seed": gseed},
+        "repeats": repeats,
+        "seed": seed,
+        "small_batch_max": DYNAMIC_SMALL_BATCH_MAX,
+        "workloads": rows,
+        "geomean_speedup": round(gm, 3),
+        "geomean_speedup_small_batch": round(gm_small, 3),
+    }
+    return ExperimentResult(experiment="dynamic", rendered=t.render(), data=data)

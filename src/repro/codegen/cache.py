@@ -95,6 +95,13 @@ class LRUCache:
                 del self._data[k]
             return len(doomed)
 
+    def snapshot_if(self, predicate: Any) -> list[tuple[Any, Any]]:
+        """``(key, value)`` pairs whose *key* satisfies ``predicate``,
+        as a consistent snapshot (no recency or counter side effects —
+        this is introspection, not access)."""
+        with self._lock:
+            return [(k, v) for k, v in self._data.items() if predicate(k)]
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:

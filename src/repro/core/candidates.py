@@ -64,11 +64,22 @@ class CandidateComputer:
     candidate list), so sharing is safe.
     """
 
-    def __init__(self, graph: CSRGraph, plan: MatchingPlan, config: EngineConfig) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        config: EngineConfig,
+        pins: dict[int, int] | None = None,
+    ) -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
         self.program = plan.program
+        # anchored execution (repro.dynamic): pins[level] = data vertex
+        # that position `level` must match.  A pinned level's candidate
+        # set is filtered down to {pin} after all regular predicates, so
+        # counts restricted this way stay a subset of the unpinned run.
+        self.pins = dict(pins) if pins else None
         # effective slot capacity: the paper sizes C's slots by
         # MAX_DEGREE and spills rarer, longer sets to host memory
         self.slot_capacity = min(config.max_degree, max(graph.max_degree(), 1))
@@ -147,6 +158,10 @@ class CandidateComputer:
                 if self.graph.directed:
                     deg = deg + self.graph.reversed_view().degree()
                 verts = verts[deg[verts] >= need]
+        if self.pins is not None:
+            pin = self.pins.get(0)
+            if pin is not None:
+                verts = verts[verts == pin]
         return verts
 
     def root_frame(self, chunk: np.ndarray) -> Frame:
@@ -482,6 +497,10 @@ class CandidateComputer:
                 need = self._degree_need[level]
                 if need > 1:
                     keep &= self._graph_degree[cvals] >= need
+            if self.pins is not None:
+                pin = self.pins.get(level)
+                if pin is not None:
+                    keep &= cvals == pin
             if count_only:
                 if warp is not None:
                     warp.charge_filter(total_filtered)
@@ -574,4 +593,8 @@ class CandidateComputer:
                                assume_unique=False, invert=True)
                 if not mask.all():
                     arr = arr[mask]
+        if self.pins is not None and arr.size:
+            pin = self.pins.get(level)
+            if pin is not None:
+                arr = arr[arr == pin]
         return arr

@@ -169,6 +169,7 @@ class STMatchEngine:
         resume_from: KernelSnapshot | None = None,
         collector: object | None = None,
         schedule_seed: int | None = None,
+        pins: dict[int, int] | None = None,
     ) -> RunResult:
         """Match ``query`` (or a prebuilt plan); returns a RunResult.
 
@@ -188,6 +189,14 @@ class STMatchEngine:
         tie-breaking (see :func:`repro.core.kernel.run_kernel`): any
         seed must produce the same count, which the race analyzer's
         schedule explorer asserts.
+
+        ``pins`` maps matching-order positions to required data
+        vertices (``{0: u, 1: v}`` anchors the run at the data edge
+        ``(u, v)``): a pinned level's candidate set is intersected with
+        the pin after every regular filter.  The batch-dynamic layer
+        (:mod:`repro.dynamic`) uses this to count only the matches
+        through a changed edge.  Pins force the interpreted candidate
+        backend (the codegen tier compiles pin-free kernels).
 
         ``resume_from`` continues a checkpointed launch (see
         ``EngineConfig.checkpoint_interval``) instead of starting over.
@@ -214,7 +223,7 @@ class STMatchEngine:
 
             verify_plan(plan).raise_if_errors()
         dev = device or VirtualDevice(cfg.device)
-        computer = self._make_computer(plan, cfg)
+        computer = self._make_computer(plan, cfg, pins=pins)
         tracer = collector
         if tracer is None and cfg.observe:
             from repro.obs import TraceCollector
@@ -292,19 +301,26 @@ class STMatchEngine:
             ),
         )
 
-    def _make_computer(self, plan: MatchingPlan, cfg: EngineConfig) -> CandidateComputer:
+    def _make_computer(
+        self,
+        plan: MatchingPlan,
+        cfg: EngineConfig,
+        pins: dict[int, int] | None = None,
+    ) -> CandidateComputer:
         """Pick the candidate backend: interpreted, or the compiled tier.
 
         Codegen rides on the fast path only — with ``fastpath=False``
         the reference interpreter always runs, even under
         ``REPRO_CODEGEN=1`` (the env override must never flip a
-        reference-path differential test onto generated code).
+        reference-path differential test onto generated code).  Pinned
+        (anchored) runs always interpret: the emitted per-plan modules
+        freeze a pin-free candidate pipeline.
         """
-        if cfg.fastpath and resolve_codegen(cfg):
+        if pins is None and cfg.fastpath and resolve_codegen(cfg):
             from repro.codegen.computer import CodegenCandidateComputer
 
             return CodegenCandidateComputer(self.graph, plan, cfg)
-        return CandidateComputer(self.graph, plan, cfg)
+        return CandidateComputer(self.graph, plan, cfg, pins=pins)
 
     def _build_report(
         self,

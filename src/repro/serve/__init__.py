@@ -15,7 +15,8 @@ on top of the process execution backend:
   per-tenant limits), deadline propagation, seeded retry/backoff,
   idempotency (exactly-once counting across request retries, X511),
   the degradation ladder (codegen → interpreted → budget-truncated)
-  and versioned graph hosting.
+  and versioned graph hosting, including batch edits
+  (``apply_edits``) that patch cached counts forward incrementally.
 * :mod:`repro.serve.breaker` — the circuit breaker around the process
   pool (CLOSED / OPEN / HALF_OPEN with probes).
 * :mod:`repro.serve.cache` — the versioned exact-count result cache.
@@ -38,6 +39,7 @@ from .request import (
 )
 from .service import (
     ATTEMPT_STRIDE,
+    EditReport,
     GraphHost,
     MatchService,
     request_attempt_offset,
@@ -48,6 +50,7 @@ __all__ = [
     "RESULT_CACHE_MAX",
     "BreakerState",
     "CircuitBreaker",
+    "EditReport",
     "GraphHost",
     "MatchRequest",
     "MatchResponse",

@@ -73,12 +73,30 @@ class ResultCache:
     def put(self, key: tuple[Any, ...], matches: int) -> None:
         self._cache.put(key, int(matches))
 
-    def invalidate_graph(self, graph_name: str) -> int:
-        """Drop every entry for ``graph_name`` (all versions); returns
-        how many went.  Called under the graph host's update lock so a
-        concurrent request can never re-populate an old version between
-        the bump and the purge."""
-        return self._cache.discard_if(lambda k: k[0] == graph_name)
+    def invalidate_graph(self, graph_name: str, version: int | None = None) -> int:
+        """Drop entries for ``graph_name``; returns how many went.
+
+        With ``version=None`` every version goes (wholesale graph
+        replacement).  With a version, only that version's entries are
+        dropped — the batch-dynamic path uses this to retire exactly
+        the superseded version while counts patched forward to the new
+        version (and any still-valid other versions) survive.  Called
+        under the graph host's update lock so a concurrent request can
+        never re-populate a purged version between the bump and the
+        purge.
+        """
+        if version is None:
+            return self._cache.discard_if(lambda k: k[0] == graph_name)
+        return self._cache.discard_if(
+            lambda k: k[0] == graph_name and k[1] == version)
+
+    def entries(self, graph_name: str, version: int) -> list[tuple[tuple[Any, ...], int]]:
+        """Snapshot of ``(key, count)`` pairs for one graph version
+        (the patchable set inspected by ``MatchService.apply_edits``)."""
+        return [
+            (k, int(v)) for k, v in self._cache.snapshot_if(
+                lambda k: k[0] == graph_name and k[1] == version)
+        ]
 
     def clear(self) -> None:
         self._cache.clear()

@@ -43,7 +43,7 @@ import threading
 import time
 import zlib
 from collections import OrderedDict
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core.config import EngineConfig
@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ATTEMPT_STRIDE",
+    "EditReport",
     "GraphHost",
     "MatchService",
     "request_attempt_offset",
@@ -109,6 +110,21 @@ class _LockedLog:
     def emit(self, kind: str, key: tuple | None = None, **data: Any) -> None:
         with self._lock:
             self._log.emit(kind, key=key, **data)
+
+
+@dataclass(frozen=True)
+class EditReport:
+    """Outcome of one :meth:`MatchService.apply_edits` batch."""
+
+    graph: str
+    old_version: int
+    new_version: int  #: equals old_version when the batch was a no-op
+    num_inserts: int  #: effective inserts (after normalization)
+    num_deletes: int  #: effective deletes (after normalization)
+    entries_patched: int  #: cache entries carried forward (count + delta)
+    entries_invalidated: int  #: old-version entries dropped instead
+    anchor_runs: int  #: pinned kernel launches spent on the deltas
+    wall_s: float
 
 
 class GraphHost:
@@ -208,6 +224,12 @@ class MatchService:
         self._idem_window: OrderedDict[str, MatchResponse] = OrderedDict()
         self._idem_executing: dict[str, threading.Event] = {}
 
+        # serializes apply_edits batches per service: the snapshot →
+        # delta-count → install → cache-patch sequence must not
+        # interleave with another batch (or a wholesale update_graph)
+        # on the same graph
+        self._edit_lock = threading.Lock()
+
         # keep graphs resident: pre-export the shared-memory segments so
         # the first pool request doesn't pay the copy
         executor, _ = resolve_execution(self.config)
@@ -232,16 +254,105 @@ class MatchService:
         return host
 
     def update_graph(self, name: str, graph: "CSRGraph") -> int:
-        """Replace a hosted graph: bump its version, purge its result
-        cache entries, pre-export the new segments.  In-flight requests
-        finish on their snapshot and honestly name the old version."""
+        """Replace a hosted graph: bump its version, purge the *old*
+        version's result-cache entries, pre-export the new segments.
+        In-flight requests finish on their snapshot and honestly name
+        the old version; entries of other (still-named) versions are
+        left alone."""
         host = self._host(name)
-        version = host.update(graph)
-        self._cache.invalidate_graph(name)
+        with self._edit_lock:
+            old_version = host.version
+            version = host.update(graph)
+            self._cache.invalidate_graph(name, version=old_version)
         executor, _ = resolve_execution(self.config)
         if executor == "process":
             export_graph(graph)
         return version
+
+    def apply_edits(
+        self,
+        name: str,
+        inserts: "Any" = (),
+        deletes: "Any" = (),
+    ) -> EditReport:
+        """Apply one edge-edit batch to a hosted graph.
+
+        Bumps the graph version to a compacted post-edit CSR, then —
+        instead of dropping every cached count — *patches forward* the
+        old version's exact entries it can prove correct: for each
+        distinct cached query, one incremental
+        :func:`repro.dynamic.count_delta` prices the batch, and every
+        config variant of that query gets ``old_count + delta.net``
+        re-cached under the new version.  Entries it cannot patch
+        (vertex-induced counts, unsupported query shapes, budget caps
+        the new count would exceed) are simply dropped with the old
+        version.  A batch that normalizes to a no-op leaves the version
+        untouched.
+        """
+        from repro.dynamic import EditBatch, OverlayGraph, count_delta
+
+        host = self._host(name)
+        t0 = time.monotonic()
+        batch = EditBatch.from_lists(inserts=inserts, deletes=deletes)
+        with self._edit_lock:
+            graph, old_version = host.snapshot()
+            eff = batch.normalized_against(graph)
+            if eff.empty:
+                return EditReport(
+                    graph=name, old_version=old_version,
+                    new_version=old_version, num_inserts=0, num_deletes=0,
+                    entries_patched=0, entries_invalidated=0, anchor_runs=0,
+                    wall_s=time.monotonic() - t0)
+            entries = self._cache.entries(name, old_version)
+            # one delta per distinct query covers every config variant:
+            # degree_filter/max_degree are identity-preserving and a
+            # max_results cap only matters if the new count would hit it
+            deltas: dict[Any, Any] = {}
+            mutated: "OverlayGraph | None" = None
+            anchor_runs = 0
+            for (_, _, query, vertex_induced, _), _count in entries:
+                if vertex_induced or query in deltas:
+                    continue
+                try:
+                    delta, ov = count_delta(
+                        graph, query, eff,
+                        self.config.with_(max_results=None))
+                except NotImplementedError:
+                    deltas[query] = None
+                    continue
+                deltas[query] = delta
+                anchor_runs += delta.anchor_runs
+                mutated = ov if mutated is None else mutated
+            if mutated is None:
+                mutated = OverlayGraph.from_edits(graph, eff)
+            new_graph = mutated.compact()
+            new_version = host.update(new_graph)
+            patched = 0
+            for (gname, _, query, vertex_induced, cfgkey), count in entries:
+                delta = None if vertex_induced else deltas.get(query)
+                if delta is None:
+                    continue
+                new_count = count + delta.net
+                max_results = cfgkey[0]
+                if max_results is not None and new_count >= max_results:
+                    # the cap the entry was computed under could now
+                    # truncate; an exact claim is no longer safe
+                    continue
+                self._cache.put(
+                    (gname, new_version, query, vertex_induced, cfgkey),
+                    new_count)
+                patched += 1
+            invalidated = self._cache.invalidate_graph(
+                name, version=old_version)
+        executor, _ = resolve_execution(self.config)
+        if executor == "process":
+            export_graph(new_graph)
+        return EditReport(
+            graph=name, old_version=old_version, new_version=new_version,
+            num_inserts=int(eff.inserts.shape[0]),
+            num_deletes=int(eff.deletes.shape[0]),
+            entries_patched=patched, entries_invalidated=invalidated,
+            anchor_runs=anchor_runs, wall_s=time.monotonic() - t0)
 
     # -- request path ------------------------------------------------------
 

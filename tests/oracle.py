@@ -93,6 +93,60 @@ def count_oracle(graph: CSRGraph, query: QueryGraph) -> int:
     return num_mono // num_aut
 
 
+def golden_count_after_edits(
+    graph: CSRGraph,
+    query: QueryGraph,
+    inserts: "list[tuple[int, int]]",
+    deletes: "list[tuple[int, int]]",
+) -> int:
+    """VF2 recount on a mutated edge list (delete-then-insert).
+
+    Ground truth for the batch-dynamic suite: the mutation happens on a
+    plain Python edge set — no :class:`~repro.dynamic.OverlayGraph`, no
+    incremental counting — so agreement with ``count_delta`` is a real
+    three-way identity, not self-consistency.
+    """
+    edges = {(min(u, v), max(u, v)) for u, v in graph.edges()}
+    edges -= {(min(u, v), max(u, v)) for u, v in deletes}
+    edges |= {(min(u, v), max(u, v)) for u, v in inserts}
+    mutated = CSRGraph.from_edges(
+        graph.num_vertices, sorted(edges), labels=graph.labels,
+        name=f"{graph.name}+edits")
+    return count_oracle(mutated, query)
+
+
+def seeded_edit_batch(
+    graph: CSRGraph,
+    seed: int,
+    num_deletes: int = 2,
+    num_inserts: int = 2,
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """A deterministic ``(inserts, deletes)`` pair for ``graph``.
+
+    Deletes are sampled from the existing edges, inserts from absent
+    vertex pairs — both via one seeded generator so a fixture cell and
+    a test replaying the same seed mutate identically.
+    """
+    rng = np.random.default_rng(seed)
+    existing = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+    picks = rng.choice(len(existing), min(num_deletes, len(existing)),
+                       replace=False)
+    deletes = [existing[i] for i in sorted(int(i) for i in picks)]
+    inserts: list[tuple[int, int]] = []
+    present = set(existing)
+    tries = 0
+    while len(inserts) < num_inserts and tries < 50 * num_inserts:
+        tries += 1
+        u, v = sorted(int(x) for x in rng.integers(0, graph.num_vertices, 2))
+        if u != v and (u, v) not in present and (u, v) not in inserts:
+            inserts.append((u, v))
+    return inserts, deletes
+
+
+#: seeds of the checked-in mutated-graph fixture cells
+MUTATION_SEEDS = [101, 202]
+
+
 def generate_fixture() -> dict:
     """Recompute every golden count (slow: full VF2 enumeration)."""
     graphs = corpus_graphs()
@@ -109,8 +163,28 @@ def generate_fixture() -> dict:
             counts[gname]["unlabeled"][qname] = count_oracle(g, q)
             lg, lq = labeled_pair(g, q)
             counts[gname]["labeled"][qname] = count_oracle(lg, lq)
+    mutated: dict[str, list[dict]] = {}
+    for gname, g in graphs.items():
+        cells: list[dict] = []
+        for seed in MUTATION_SEEDS:
+            inserts, deletes = seeded_edit_batch(g, seed)
+            cell: dict = {
+                "seed": seed,
+                "inserts": [list(e) for e in inserts],
+                "deletes": [list(e) for e in deletes],
+                "counts": {"unlabeled": {}, "labeled": {}},
+            }
+            for qname in ORACLE_QUERIES:
+                q = QUERIES[qname]
+                cell["counts"]["unlabeled"][qname] = golden_count_after_edits(
+                    g, q, inserts, deletes)
+                lg, lq = labeled_pair(g, q)
+                cell["counts"]["labeled"][qname] = golden_count_after_edits(
+                    lg, lq, inserts, deletes)
+            cells.append(cell)
+        mutated[gname] = cells
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "oracle": "networkx.GraphMatcher.subgraph_monomorphisms_iter / |Aut|",
         "labeled_protocol": {
             "num_labels": NUM_LABELS,
@@ -120,6 +194,7 @@ def generate_fixture() -> dict:
         },
         "graphs": meta,
         "counts": counts,
+        "mutated": mutated,
     }
 
 

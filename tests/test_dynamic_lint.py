@@ -1,0 +1,133 @@
+"""Seeded-mutation gates for the overlay delta linter (D601–D605).
+
+Mirrors the X-rule mutation tests in ``tests/test_analysis_races.py``:
+each test corrupts a healthy overlay's delta arrays in one specific
+way (bypassing construction-time validation) and asserts the linter
+catches exactly that rule — a linter that stays silent on a seeded
+corruption is itself broken.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DiagnosticReport, Severity, lint_overlay
+from repro.analysis.diagnostics import RULE_REGISTRY
+from repro.analysis.overlay import KIND_TO_RULE
+from repro.dynamic import EditBatch, OverlayGraph
+from repro.graph.csr import CSRGraph
+
+D_RULES = ["D601", "D602", "D603", "D604", "D605"]
+
+
+def _base() -> CSRGraph:
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (1, 5)]
+    return CSRGraph.from_edges(6, edges, name="lintbase")
+
+
+def _healthy() -> OverlayGraph:
+    return OverlayGraph.from_edits(
+        _base(), EditBatch.from_lists(inserts=[(0, 3)], deletes=[(2, 3)]))
+
+
+def _corrupt(insert_arcs, delete_arcs) -> OverlayGraph:
+    # validate=False is the test's corruption port: real construction
+    # paths always validate
+    return OverlayGraph(
+        _base(),
+        np.asarray(insert_arcs, dtype=np.int64).reshape(-1, 2),
+        np.asarray(delete_arcs, dtype=np.int64).reshape(-1, 2),
+        validate=False)
+
+
+def _rules_of(report: DiagnosticReport) -> set[str]:
+    return {d.rule for d in report}
+
+
+def test_healthy_overlay_is_clean():
+    report = lint_overlay(_healthy())
+    assert len(report) == 0
+    assert not report.has_errors
+
+
+def test_unsorted_delta_trips_d601():
+    # arcs present but out of lexicographic order
+    ov = _corrupt([[3, 0], [0, 3]], [])
+    assert "D601" in _rules_of(lint_overlay(ov))
+
+
+def test_duplicate_arcs_trip_d601():
+    ov = _corrupt([[0, 3], [0, 3], [3, 0]], [])
+    assert "D601" in _rules_of(lint_overlay(ov))
+
+
+def test_insert_delete_overlap_trips_d602():
+    # same arc on both sides — delete-then-insert was never normalized
+    ov = _corrupt([[2, 3], [3, 2]], [[2, 3], [3, 2]])
+    report = lint_overlay(ov)
+    assert "D602" in _rules_of(report)
+    (diag,) = report.by_rule("D602")
+    assert diag.severity is Severity.ERROR
+
+
+def test_phantom_insert_trips_d603():
+    # (0, 1) is already in the base — inserting it corrupts degrees
+    ov = _corrupt([[0, 1], [1, 0]], [])
+    assert "D603" in _rules_of(lint_overlay(ov))
+
+
+def test_phantom_delete_trips_d603():
+    # (0, 5) is absent from the base
+    ov = _corrupt([], [[0, 5], [5, 0]])
+    assert "D603" in _rules_of(lint_overlay(ov))
+
+
+def test_one_directional_arc_trips_d604():
+    # undirected overlay storing only (0, 3) without (3, 0)
+    ov = _corrupt([[0, 3]], [])
+    assert "D604" in _rules_of(lint_overlay(ov))
+
+
+def test_out_of_range_endpoint_trips_d605():
+    ov = _corrupt([[0, 99], [99, 0]], [])
+    assert "D605" in _rules_of(lint_overlay(ov))
+
+
+def test_self_loop_trips_d605():
+    ov = _corrupt([[2, 2]], [])
+    assert "D605" in _rules_of(lint_overlay(ov))
+
+
+def test_validation_rejects_corruption_at_construction():
+    with pytest.raises(ValueError, match="invalid overlay delta"):
+        OverlayGraph(_base(),
+                     np.asarray([[3, 0], [0, 3]], dtype=np.int64),
+                     np.empty((0, 2), dtype=np.int64))
+
+
+def test_every_violation_is_an_error():
+    ov = _corrupt([[0, 1], [3, 0], [0, 3]], [[2, 2]])
+    report = lint_overlay(ov)
+    assert report.has_errors
+    assert all(d.severity is Severity.ERROR for d in report)
+
+
+@pytest.mark.parametrize("rule", D_RULES)
+def test_d_rules_registered_with_fix_hints(rule):
+    info = RULE_REGISTRY[rule]
+    assert info.owner == "repro.analysis.overlay"
+    assert info.summary and info.fix_hint
+
+
+def test_kind_map_covers_exactly_the_d_rules():
+    assert sorted(KIND_TO_RULE.values()) == D_RULES
+
+
+def test_normalization_prevents_all_d_rules_by_construction():
+    # the real construction path (from_edits) normalizes everything the
+    # linter checks: throw a messy batch at it and lint stays clean
+    g = _base()
+    messy = EditBatch.from_lists(
+        inserts=[(3, 0), (0, 1), (4, 0), (0, 4)],  # dup + already present
+        deletes=[(3, 2), (0, 5), (0, 3)])  # absent + also-inserted
+    ov = OverlayGraph.from_edits(g, messy)
+    assert len(lint_overlay(ov)) == 0

@@ -44,11 +44,23 @@ def graphs():
 
 class TestFixtureIntegrity:
     def test_fixture_covers_full_matrix(self, fixture):
-        assert fixture["schema_version"] == 1
+        assert fixture["schema_version"] == 2
         for gname in GRAPH_NAMES:
             for mode in MODES:
                 cells = fixture["counts"][gname][mode]
                 assert sorted(cells) == sorted(oracle.ORACLE_QUERIES)
+
+    def test_fixture_covers_mutated_cells(self, fixture):
+        # the batch-dynamic suite pins against these; schema v2 ships
+        # one cell per mutation seed with the full query matrix
+        for gname in GRAPH_NAMES:
+            cells = fixture["mutated"][gname]
+            assert [c["seed"] for c in cells] == oracle.MUTATION_SEEDS
+            for cell in cells:
+                assert cell["inserts"] and cell["deletes"]
+                for mode in MODES:
+                    assert sorted(cell["counts"][mode]) == sorted(
+                        oracle.ORACLE_QUERIES)
 
     def test_corpus_graphs_match_fixture_meta(self, fixture, graphs):
         # a changed generator/seed without --regen must fail here, not
