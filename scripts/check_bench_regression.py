@@ -46,6 +46,18 @@ Three modes:
   small-batch cells must reach ``--min-dynamic-speedup`` (default 3.0
   — delta anchoring is pointless if it does not beat recounting).
 
+* ``check_bench_regression.py --scale BENCH_scale.json`` — validate
+  a ``python -m repro.bench scale`` payload: the out-of-core RSS probe
+  must report byte-identical matches and cycles between the
+  materialized and memory-mapped backends AND a memmap peak-RSS delta
+  at or below ``--max-rss-ratio`` (default 0.5) of the materialized
+  delta; every range-partitioned point must count exactly the serial
+  whole-graph matches; and the 4-shard speedup must reach
+  ``--min-scale-speedup`` (default 2.0) scaled by
+  ``min(4, cpu_count) / 4`` — the same honesty clause as the parallel
+  gate, so a single-core recording host is not asked to fabricate
+  parallelism.
+
 * ``check_bench_regression.py --parallel BENCH_parallel.json`` —
   validate a ``python -m repro.bench parallel`` payload: every
   (workload, worker-count) point must report byte-identical matches
@@ -235,6 +247,56 @@ def check_parallel(path: str, min_speedup: float) -> list[str]:
     return problems
 
 
+def check_scale(path: str, max_rss_ratio: float,
+                min_speedup: float) -> list[str]:
+    """Validate a ``repro.bench scale`` payload (RSS + partitioning)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if payload.get("experiment") != "scale" or "rss" not in payload \
+            or "partition" not in payload:
+        print(f"error: {path} is not a scale bench payload", file=sys.stderr)
+        raise SystemExit(2)
+    problems = []
+    rss = payload["rss"]
+    if not rss.get("identical_matches", False):
+        problems.append("rss probe: memmap backend changed the match count")
+    if not rss.get("identical_cycles", False):
+        problems.append("rss probe: memmap backend changed the simulated cycles")
+    mat_delta = (rss.get("memory") or {}).get("rss_delta_kb")
+    if not mat_delta or mat_delta <= 0:
+        problems.append(
+            "rss probe: materialized arm reports a zero/absent peak-RSS "
+            "delta — the probe measured nothing (a broken measurement "
+            "must not pass the ceiling vacuously)")
+    ratio = rss.get("ratio")
+    if ratio is None or ratio > max_rss_ratio:
+        problems.append(
+            f"rss probe: memmap peak-RSS delta is {ratio}x the "
+            f"materialized delta, above the {max_rss_ratio}x ceiling — "
+            "the out-of-core backend is not staying out of core")
+    part = payload["partition"]
+    if not part.get("identical_matches", False):
+        problems.append(
+            f"{part.get('key')}: a range-partitioned point diverged from "
+            "the serial whole-graph count (double count or orphaned roots)")
+    cpus = int(payload.get("cpu_count") or 1)
+    target_shards = 4
+    attainable = min(target_shards, max(1, cpus))
+    required = min_speedup * attainable / target_shards
+    sp = part.get("speedup_at_4")
+    if sp is None:
+        problems.append("payload has no speedup_at_4 (no 4-shard point?)")
+    elif sp < required:
+        problems.append(
+            f"4-shard speedup {sp}x is below the floor {required:.2f}x "
+            f"({min_speedup}x scaled by min(4, {cpus} cpu(s))/4)")
+    return problems
+
+
 def check_serve(path: str, min_clients: int) -> list[str]:
     """Validate a ``repro.bench serve`` payload (schema + invariants)."""
     obs = _import_obs()
@@ -339,6 +401,18 @@ def main(argv: list[str] | None = None) -> int:
                    help="parallel mode: required geomean speedup at 4 "
                         "workers on a >= 4-core host (default 2.5); scaled "
                         "down by min(4, cpu_count)/4 on smaller hosts")
+    p.add_argument("--scale", action="store_true",
+                   help="treat the file as a BENCH_scale.json payload: "
+                        "check memmap/materialized identity + the peak-RSS "
+                        "ceiling and the 4-shard speedup floor (scaled by "
+                        "the recording host's cpu_count)")
+    p.add_argument("--max-rss-ratio", type=float, default=0.5,
+                   help="scale mode: ceiling on memmap-over-materialized "
+                        "peak-RSS delta (default 0.5)")
+    p.add_argument("--min-scale-speedup", type=float, default=2.0,
+                   help="scale mode: required 4-shard speedup on a >= "
+                        "4-core host (default 2.0); scaled down by "
+                        "min(4, cpu_count)/4 on smaller hosts")
     p.add_argument("--dynamic", action="store_true",
                    help="treat the file as a BENCH_dynamic.json payload: "
                         "check incremental-vs-recount identity per cell and "
@@ -355,6 +429,26 @@ def main(argv: list[str] | None = None) -> int:
                    help="serve mode: minimum concurrent clients the load "
                         "phase must have run (default 4)")
     args = p.parse_args(argv)
+
+    if args.scale:
+        if args.current is not None:
+            p.error("--scale takes a single file")
+        problems = check_scale(args.baseline, args.max_rss_ratio,
+                               args.min_scale_speedup)
+        if problems:
+            for msg in problems:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            payload = json.load(fh)
+        rss, part = payload["rss"], payload["partition"]
+        print(f"ok: scale payload valid — memmap peak-RSS delta "
+              f"{rss['ratio']}x of materialized "
+              f"({rss['store_bytes'] >> 20} MB store), 4-shard speedup "
+              f"{part.get('speedup_at_4')}x on "
+              f"{payload.get('cpu_count')} cpu(s), identity "
+              f"invariants hold")
+        return 0
 
     if args.serve:
         if args.current is not None:

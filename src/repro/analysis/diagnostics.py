@@ -149,6 +149,10 @@ RULE_REGISTRY: dict[str, RuleInfo] = {
                      "budget",
                      "merge per-label set copies or lower unroll, or run the plan on the "
                      "interpreted fast path"),
+            "B409": ("adjacency bitmap configured on a huge or memory-mapped graph "
+                     "(each hub row densifies to n bytes)",
+                     "set bitmap_threshold=None for out-of-core graphs — densified hub "
+                     "rows defeat lazy paging and cost O(num_hubs × n) bytes"),
         }),
         _rules("steal protocol (runtime)", "repro.analysis.sanitizer", {
             "X501": ("steal segment duplicated between donor and thief",
@@ -202,6 +206,12 @@ RULE_REGISTRY: dict[str, RuleInfo] = {
                      "commit each idempotency key at most once while remembered; "
                      "serve retries from the window (request_replay) and never "
                      "shed a key that already committed"),
+            "X512": ("cross-partition double count or orphaned roots: shard root-"
+                     "ownership claims overlap, or leave declared partition ranges "
+                     "unclaimed",
+                     "derive every shard's owned range from one verified "
+                     "VertexPartition cover so each root — hence each match — has "
+                     "exactly one counting shard"),
         }),
     )
     for info in group

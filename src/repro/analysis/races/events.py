@@ -41,6 +41,19 @@ Coordinator event kinds (:data:`PROTOCOL_KINDS`):
     A request's result was committed exactly once, or served again
     from the idempotency window without re-execution.  Rule X511
     audits this pair: one commit per key, replays only after it.
+``partition_cover``
+    A range-partitioned run declared its vertex cover
+    (``bounds`` = the :class:`~repro.scale.partition.VertexPartition`
+    bounds, ``n`` = the graph's vertex count) — emitted once per
+    partitioned run, before any shard dispatch.
+``root_claim``
+    A shard claimed root ownership of vertices ``[lo, hi)``
+    (``key`` = range key, ``n`` = vertex count).  Rule X512 audits
+    cover + claims together: claims of *different* shards must never
+    overlap (a root owned twice is a match counted twice) and the
+    claims must cover the declared partition exactly (a gap is a match
+    counted zero times).  Re-claims under the same key (retry /
+    re-queue of the same range) are legitimate — X509 audits those.
 """
 
 from __future__ import annotations
@@ -87,6 +100,8 @@ PROTOCOL_KINDS = frozenset({
     "request_shed",
     "request_commit",
     "request_replay",
+    "partition_cover",
+    "root_claim",
 })
 
 

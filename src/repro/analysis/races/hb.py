@@ -32,6 +32,15 @@ X511
     it is remembered, a replay must be ordered after its key's commit,
     and a shed request never also commits — the retried-request analog
     of X506, across request boundaries instead of kernel attempts.
+X512
+    Partition-scoped exactly-once over the scale protocol
+    (``partition_cover`` / ``root_claim``): a range-partitioned run
+    declares a cover of ``0..n-1`` by contiguous ranges, and the root
+    ownership claims of *different* shards must be disjoint (an
+    overlap is a root — hence a match — counted twice) while together
+    covering the declared domain exactly (a gap is a match counted
+    zero times).  Re-claims under one key (retry / re-queue of the
+    same range) are deduplicated here; X509 audits their legitimacy.
 
 On a clean run every check passes — the schedule explorer
 (:mod:`repro.analysis.races.schedules`) asserts exactly that across
@@ -183,8 +192,7 @@ def check_trace_events(
 
 
 def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticReport:
-    """Run the coordinator-level checks (X509, X510, X511) over a
-    protocol log.
+    """Run the coordinator-level checks (X509–X512) over a protocol log.
 
     The coordinator is single-threaded (the serve layer serializes its
     emissions under one lock), so the log's sequence order is its
@@ -202,6 +210,9 @@ def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticRep
     teardowns: list[int] = []
     req_committed: set[tuple[Any, ...]] = set()
     req_shed: set[tuple[Any, ...]] = set()
+    cover: tuple[int, ...] | None = None  # declared partition bounds
+    cover_n = 0
+    claims: dict[tuple[Any, ...] | None, tuple[int, int]] = {}
 
     for e in log:
         key = e.key
@@ -302,7 +313,77 @@ def check_protocol(log: ProtocolLog, subject: str = "protocol") -> DiagnosticRep
                     hint="only replay keys whose commit is ordered before "
                          "the replay",
                 )
+        elif e.kind == "partition_cover":
+            bounds = tuple(int(b) for b in e.data.get("bounds", ()))
+            n = int(e.data.get("n", 0))
+            bad = (
+                len(bounds) < 2
+                or bounds[0] != 0
+                or bounds[-1] != n
+                or any(bounds[i] > bounds[i + 1] for i in range(len(bounds) - 1))
+            )
+            if bad:
+                rep.add(
+                    "X512", Severity.ERROR, "partition",
+                    f"partition cover declared at seq {e.seq} does not cover "
+                    f"0..{n - 1}: bounds {bounds} must start at 0, end at "
+                    f"n={n} and be nondecreasing — vertices outside the cover "
+                    "have no owning shard (matches lost) or several "
+                    "(matches double-counted)",
+                    hint="build covers with VertexPartition.balanced / verify",
+                )
+            else:
+                cover, cover_n = bounds, n
+        elif e.kind == "root_claim":
+            lo, hi = int(e.data.get("lo", 0)), int(e.data.get("hi", 0))
+            prior = claims.get(key)
+            if prior is not None and prior != (lo, hi):
+                rep.add(
+                    "X512", Severity.ERROR, loc,
+                    f"shard re-claimed a different root range at seq {e.seq}: "
+                    f"[{prior[0]}, {prior[1]}) then [{lo}, {hi}) under the "
+                    "same key — the shard's committed count spans an "
+                    "ill-defined root set",
+                    hint="a re-queued shard must claim exactly the victim's "
+                         "range",
+                )
+            if prior is None and hi > lo:
+                for okey, (olo, ohi) in claims.items():
+                    if okey != key and olo < hi and lo < ohi:
+                        ov_lo, ov_hi = max(lo, olo), min(hi, ohi)
+                        rep.add(
+                            "X512", Severity.ERROR, loc,
+                            f"root claim [{lo}, {hi}) at seq {e.seq} overlaps "
+                            f"claim [{olo}, {ohi}) of shard {okey}: roots "
+                            f"[{ov_lo}, {ov_hi}) are owned by two shards, so "
+                            "every match rooted there is counted twice",
+                            hint="ownership ranges must be disjoint — derive "
+                                 "them from one VertexPartition",
+                        )
+            claims.setdefault(key, (lo, hi))
         # "request_admit": program-order only (bookkeeping for audits)
+    if cover is not None:
+        domain = cover_n
+        intervals = sorted(r for r in claims.values() if r[1] > r[0])
+        pos = 0
+        gaps: list[tuple[int, int]] = []
+        for lo, hi in intervals:
+            if lo > pos:
+                gaps.append((pos, lo))
+            pos = max(pos, hi)
+        if pos < domain:
+            gaps.append((pos, domain))
+        if gaps and domain > 0:
+            gap_txt = ", ".join(f"[{a}, {b})" for a, b in gaps[:4])
+            rep.add(
+                "X512", Severity.ERROR, "partition",
+                f"root claims leave the declared cover (n={domain}) with "
+                f"unowned vertices: {gap_txt}"
+                + (" …" if len(gaps) > 4 else "")
+                + " — matches rooted there are counted by no shard",
+                hint="every partition range must be claimed by exactly one "
+                     "shard before aggregation",
+            )
     return rep
 
 

@@ -16,6 +16,7 @@ Examples::
     python -m repro.bench chaos --seed-sweep 10
     python -m repro.bench serve --clients 8 --json BENCH_serve.json
     python -m repro.bench dynamic --json BENCH_dynamic.json
+    python -m repro.bench scale --json BENCH_scale.json
 
 For ``fastpath``, ``--datasets`` takes ``dataset/query`` pairs (e.g.
 ``wiki_vote/q1 mico/q4``) and ``--json`` writes the A/B payload that
@@ -85,6 +86,11 @@ EXPERIMENTS = {
     "dynamic": lambda a: experiments.dynamic_bench(
         queries=a.queries,
         seed=a.seed_base,
+    ),
+    "scale": lambda a: experiments.scale_bench(
+        dataset=(a.datasets or ["wiki_vote"])[0],
+        query=(a.queries or ["q1"])[0],
+        scale=a.scale or "small",
     ),
     "serve": lambda a: experiments.serve_bench(
         clients=a.clients,

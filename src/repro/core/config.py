@@ -127,6 +127,22 @@ class EngineConfig:
     #   are byte-identical (tests/test_codegen_identity.py); only host
     #   wall-clock changes.  Requires fastpath=True; the REPRO_CODEGEN
     #   env var overrides at resolution time for CI matrices.
+    graph_backend: str = "memory"
+    #   graph residency backend (repro.scale.backend): "memory" keeps
+    #   the CSR arrays in RAM; "memmap" spills them once to an on-disk
+    #   store at engine construction and runs on the memory-mapped twin,
+    #   so multi-GB graphs load lazily and untouched pages never fault
+    #   in.  The arrays are equal either way — matches AND simulated
+    #   cycles are byte-identical (tests/test_scale_backend.py).  The
+    #   REPRO_GRAPH_BACKEND env var overrides at resolution time.
+    partition_mode: str = "replicate"
+    #   how the multi-shard drivers split the data graph:
+    #   "replicate" is the paper's Fig. 11 model — every device holds
+    #   the whole graph and shards split root chunks round-robin;
+    #   "range" is the scale mode — each shard owns a contiguous vertex
+    #   range plus a 1-hop-replicated boundary (repro.scale.partition)
+    #   and enumerates only roots it owns, so each match is counted by
+    #   exactly one shard (analyzer rule X512 checks the cover/claims).
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -173,6 +189,14 @@ class EngineConfig:
             raise ValueError(
                 "codegen specializes the fastpath backend and requires "
                 "fastpath=True (the reference path stays interpreted)"
+            )
+        if self.graph_backend not in ("memory", "memmap"):
+            raise ValueError(
+                f"graph_backend must be 'memory' or 'memmap', not {self.graph_backend!r}"
+            )
+        if self.partition_mode not in ("replicate", "range"):
+            raise ValueError(
+                f"partition_mode must be 'replicate' or 'range', not {self.partition_mode!r}"
             )
 
     # -- ablation variants (Fig. 12) --------------------------------------

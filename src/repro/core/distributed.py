@@ -162,20 +162,46 @@ def _profile_tasks(
     """
     from .candidates import CandidateComputer
 
-    total_roots = int(CandidateComputer(graph, plan, config).root_candidates.size)
-    bounds = [round(i * total_roots / num_tasks) for i in range(num_tasks + 1)]
+    ranges: list[tuple[int, int]] | None = None
+    if config.partition_mode == "range":
+        # scale mode: tasks own contiguous edge-balanced *vertex* ranges
+        # (each runs on its 1-hop-replicated view) instead of slices of
+        # the root-candidate index space over a fully replicated graph
+        from repro.scale.partition import VertexPartition
+
+        part = VertexPartition.balanced(graph, num_tasks)
+        part.verify(graph.num_vertices)
+        ranges = [part.range_of(i) for i in range(num_tasks)]
+        bounds = []
+    else:
+        total_roots = int(
+            CandidateComputer(graph, plan, config).root_candidates.size
+        )
+        bounds = [round(i * total_roots / num_tasks) for i in range(num_tasks + 1)]
 
     from repro.parallel import ShardSpec, resolve_execution, run_shards
 
     executor, num_workers = resolve_execution(config)
     if executor == "process":
         specs = [
-            ShardSpec(index=i, device_id=i, root_range=(bounds[i], bounds[i + 1]))
+            ShardSpec(index=i, device_id=i,
+                      root_range=None if ranges else (bounds[i], bounds[i + 1]),
+                      vertex_range=ranges[i] if ranges else None)
             for i in range(num_tasks)
         ]
         task_results = run_shards(graph, plan, config, specs,
                                   num_workers=num_workers,
                                   timeout_s=config.worker_timeout_s)
+    elif ranges is not None:
+        from repro.scale.partition import PartitionedGraph
+
+        task_results = []
+        for i in range(num_tasks):
+            dev = VirtualDevice(config.device, device_id=i)
+            shard = PartitionedGraph.replicate(graph, *ranges[i])
+            task_results.append(
+                STMatchEngine(shard, config).run(
+                    plan, root_vertices=ranges[i], device=dev))
     else:
         engine = STMatchEngine(graph, config)
         task_results = []

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.codegen.cache import LRUCache, resolve_codegen
 from repro.graph.csr import CSRGraph
 from repro.pattern.plan import MatchingPlan, build_plan
@@ -124,8 +126,14 @@ class STMatchEngine:
     name = "stmatch"
 
     def __init__(self, graph: CSRGraph, config: EngineConfig | None = None) -> None:
-        self.graph = graph
+        from repro.scale.backend import resolve_graph_backend, with_backend
+
         self.config = config or EngineConfig()
+        # residency backend: "memmap" re-homes a plain in-memory graph
+        # onto its on-disk memory-mapped twin (memoized on the graph, so
+        # repeated engine constructions share one spill).  Array values
+        # are equal either way — matches and cycles stay byte-identical.
+        self.graph = with_backend(graph, resolve_graph_backend(self.config))
 
     # -- planning ----------------------------------------------------------
 
@@ -165,6 +173,7 @@ class STMatchEngine:
         on_match: Callable[[tuple[int, ...]], None] | None = None,
         root_range: tuple[int, int] | None = None,
         root_partition: tuple[int, int] | None = None,
+        root_vertices: tuple[int, int] | None = None,
         device: VirtualDevice | None = None,
         resume_from: KernelSnapshot | None = None,
         collector: object | None = None,
@@ -178,6 +187,12 @@ class STMatchEngine:
         when no callback is given).  ``root_range`` restricts the root
         vertex range to a contiguous slice; ``root_partition = (owner,
         num_owners)`` shards it round-robin (multi-GPU splitting).
+        ``root_vertices = (lo, hi)`` is the ownership filter of the
+        partitioned scale mode: only roots whose data-vertex id lies in
+        ``[lo, hi)`` are enumerated (the root candidates are sorted, so
+        this resolves to a contiguous ``root_range`` slice and composes
+        with ``root_range`` by intersection; it is mutually exclusive
+        with ``root_partition``, like ``root_range`` itself).
 
         ``collector`` attaches a :class:`repro.obs.TraceCollector` to
         the launch (``config.observe=True`` creates one implicitly); the
@@ -224,6 +239,16 @@ class STMatchEngine:
             verify_plan(plan).raise_if_errors()
         dev = device or VirtualDevice(cfg.device)
         computer = self._make_computer(plan, cfg, pins=pins)
+        if root_vertices is not None:
+            # root candidates are sorted ascending, so vertex-id
+            # ownership [lo, hi) is a contiguous candidate-index slice
+            lo, hi = root_vertices
+            vlo, vhi = np.searchsorted(
+                computer.root_candidates, [int(lo), int(hi)]
+            ).tolist()
+            if root_range is not None:
+                vlo, vhi = max(vlo, int(root_range[0])), min(vhi, int(root_range[1]))
+            root_range = (int(vlo), max(int(vlo), int(vhi)))
         tracer = collector
         if tracer is None and cfg.observe:
             from repro.obs import TraceCollector
@@ -236,8 +261,19 @@ class STMatchEngine:
                              detail=str(e), error=e)
 
         if plan.size == 1:
-            # degenerate single-vertex query: the roots are the matches
+            # degenerate single-vertex query: the roots are the matches.
+            # The root split still applies — a multi-device run reaches
+            # this path once per shard, and an unfiltered count here
+            # would be double-counted at aggregation.
             roots = computer.root_candidates
+            if root_range is not None:
+                rlo, rhi = root_range
+                roots = roots[max(int(rlo), 0) : max(int(rhi), 0)]
+            elif root_partition is not None:
+                owner, num_owners = root_partition
+                if num_owners > 1:
+                    chunk_of = np.arange(roots.size) // cfg.chunk_size
+                    roots = roots[(chunk_of % num_owners) == owner]
             n = int(roots.size)
             if on_match is not None:
                 for v in roots:
@@ -347,18 +383,26 @@ class STMatchEngine:
         symmetry_breaking: bool = True,
         fault_plan=None,
         max_retries: int = 3,
+        protocol_log=None,
     ):
-        """Split one run into round-robin root-chunk partitions.
+        """Split one run into root partitions (round-robin or ranges).
 
-        The partitions are exactly the multi-GPU decomposition of
-        Fig. 11 applied *within* one logical run: partition ``p`` of
-        ``n`` serves every ``n``-th root chunk on its own device
-        replica, and the aggregate is a
+        With the default ``partition_mode="replicate"`` the partitions
+        are exactly the multi-GPU decomposition of Fig. 11 applied
+        *within* one logical run: partition ``p`` of ``n`` serves every
+        ``n``-th root chunk on its own whole-graph device replica.
+        With ``partition_mode="range"`` each partition instead owns a
+        contiguous edge-balanced vertex range plus its 1-hop boundary
+        replica (:mod:`repro.scale.partition`) and enumerates only the
+        roots it owns.  Either way the aggregate is a
         :class:`~repro.core.multi_gpu.MultiGpuResult` (sum of matches,
-        makespan of shards).  Under ``executor="process"`` the
-        partitions run on the worker pool — the intra-run parallelism
-        the process backend exists for.  ``num_partitions`` defaults to
-        the resolved worker count.
+        makespan of shards) and counts equal the unpartitioned run
+        exactly.  Under ``executor="process"`` the partitions run on
+        the worker pool — the intra-run parallelism the process backend
+        exists for.  ``num_partitions`` defaults to the resolved worker
+        count; ``protocol_log`` records the shard protocol (and, in
+        range mode, the partition cover / ownership claims rule X512
+        checks).
 
         Note a partitioned run is *not* cycle-identical to the same
         query unpartitioned (each partition launches its own kernel
@@ -380,6 +424,7 @@ class STMatchEngine:
             symmetry_breaking=symmetry_breaking,
             fault_plan=fault_plan,
             max_retries=max_retries,
+            protocol_log=protocol_log,
         )
 
     def count(self, query: QueryGraph | MatchingPlan, **kw) -> int:
@@ -399,11 +444,10 @@ class STMatchEngine:
         """Charge STMatch's fixed footprint against the device."""
         cfg = self.config
         elem = 4  # int32 vertex ids
-        # the data graph itself (CSR) lives in global memory
-        graph_bytes = int(self.graph.indices.nbytes + self.graph.indptr.nbytes)
-        if self.graph.labels is not None:
-            graph_bytes += int(self.graph.labels.nbytes)
-        device.global_mem.alloc(graph_bytes, tag="graph")
+        # the resident graph data lives in global memory: the full CSR
+        # for a plain graph (Fig. 11 duplication), only the owned-range
+        # + boundary replica for a PartitionedGraph shard
+        device.global_mem.alloc(self.graph.device_graph_bytes(), tag="graph")
         # candidate stacks: NUM_SETS × UNROLL × slot × warps (Sec. VIII-A)
         c_bytes = (
             plan.num_sets * cfg.unroll * computer.slot_capacity * elem * device.num_warps

@@ -158,22 +158,62 @@ def run_multi_gpu(
     that trips the batch deadline as a TIMEOUT shard, and both are
     re-queued onto the survivors like any other failure.
 
+    With ``config.partition_mode == "range"`` the paper's duplication
+    model is replaced by the scale decomposition: an edge-balanced
+    :class:`~repro.scale.partition.VertexPartition` assigns each device
+    a contiguous owned vertex range, the device runs on a
+    1-hop-replicated :class:`~repro.scale.partition.PartitionedGraph`
+    view (charged only its replica, not the whole graph) and
+    enumerates only roots it owns — each match is counted by exactly
+    the shard owning its root, so the total still equals the
+    unpartitioned count exactly.  Re-queue still works: any survivor
+    can host a victim's *range* (the replica is derived from the shared
+    base graph, not from the survivor's own range).
+
     ``protocol_log`` (duck-typed: an ``emit(kind, key=..., **data)``
     method, e.g. :class:`repro.analysis.races.ProtocolLog`) records
     every shard dispatch / result / re-queue and pool teardown so the
     happens-before checker can audit the coordinator's ordering (rules
-    X509/X510); ``None`` records nothing and costs nothing.
+    X509/X510); in range mode it additionally records the partition
+    cover and per-shard ownership claims that rule X512 audits for
+    cross-partition double counting.  ``None`` records nothing and
+    costs nothing.
     """
     if num_devices < 1:
         raise ValueError("need at least one device")
     config = config or EngineConfig()
     engine = STMatchEngine(graph, config)
+    graph = engine.graph  # backend-resolved (e.g. the memmap twin)
     if isinstance(query, MatchingPlan):
         plan = query
     else:
         plan = engine.plan(
             query, vertex_induced=vertex_induced, symmetry_breaking=symmetry_breaking
         )
+
+    ranges: list[tuple[int, int]] | None = None
+    if config.partition_mode == "range":
+        from repro.scale.partition import VertexPartition
+
+        part = VertexPartition.balanced(graph, num_devices)
+        part.verify(graph.num_vertices)
+        part.emit_cover(protocol_log, graph.num_vertices)
+        ranges = [part.range_of(d) for d in range(num_devices)]
+
+    def shard_graph(d: int) -> CSRGraph:
+        if ranges is None:
+            return graph
+        from repro.scale.partition import PartitionedGraph
+
+        return PartitionedGraph.replicate(graph, *ranges[d])
+
+    def claim(d: int) -> None:
+        # root-ownership claim for shard d's range (audited by X512);
+        # re-claims on retry/re-queue carry the same key and range
+        if ranges is not None and protocol_log is not None:
+            lo, hi = ranges[d]
+            protocol_log.emit("root_claim", key=(d, num_devices), lo=lo, hi=hi,
+                              n=graph.num_vertices)
 
     from repro.parallel import ShardSpec, resolve_execution, run_shards
 
@@ -195,13 +235,16 @@ def run_multi_gpu(
     timelines = [0.0] * num_devices
     if use_pool:
         specs = [
-            ShardSpec(index=d, device_id=d, root_partition=(d, num_devices),
+            ShardSpec(index=d, device_id=d,
+                      root_partition=None if ranges else (d, num_devices),
+                      vertex_range=ranges[d] if ranges else None,
                       recover=faulted,
                       range_key=(d, num_devices) if faulted else None,
                       max_retries=max_retries)
             for d in range(num_devices)
         ]
         for d in range(num_devices):
+            claim(d)
             note("shard_dispatch", (d, num_devices), device_id=d)
         results = run_shards(graph, plan, config, specs,
                              num_workers=num_workers, fault_plan=fault_plan,
@@ -217,21 +260,29 @@ def run_multi_gpu(
                 ledger.absorb((d, num_devices), res)
     elif not faulted:
         for d in range(num_devices):
+            claim(d)
             note("shard_dispatch", (d, num_devices), device_id=d)
             dev = VirtualDevice(config.device, device_id=d)
-            results.append(engine.run(plan, root_partition=(d, num_devices),
-                                      device=dev))
+            if ranges is not None:
+                shard_engine = STMatchEngine(shard_graph(d), config)
+                results.append(shard_engine.run(plan, root_vertices=ranges[d],
+                                                device=dev))
+            else:
+                results.append(engine.run(plan, root_partition=(d, num_devices),
+                                          device=dev))
             note("shard_result", (d, num_devices),
                  countable=results[-1].countable,
                  status=str(results[-1].status))
     else:
         for d in range(num_devices):
+            claim(d)
             note("shard_dispatch", (d, num_devices), device_id=d)
             results.append(run_with_recovery(
-                graph, plan, config,
+                shard_graph(d), plan, config,
                 fault_plan=fault_plan,
                 device_id=d,
-                root_partition=(d, num_devices),
+                root_partition=None if ranges else (d, num_devices),
+                root_vertices=ranges[d] if ranges else None,
                 max_retries=max_retries,
                 ledger=ledger,
                 range_key=(d, num_devices),
@@ -257,7 +308,8 @@ def run_multi_gpu(
     if lost and survivors:
         rspecs = [
             ShardSpec(index=d, device_id=survivors[i % len(survivors)],
-                      root_partition=(d, num_devices),
+                      root_partition=None if ranges else (d, num_devices),
+                      vertex_range=ranges[d] if ranges else None,
                       recover=faulted,
                       range_key=(d, num_devices) if faulted else None,
                       # the host already consumed its own attempts; never
@@ -269,6 +321,7 @@ def run_multi_gpu(
         for spec in rspecs:
             note("shard_requeue", (spec.index, num_devices),
                  device_id=spec.device_id)
+            claim(spec.index)
             note("shard_dispatch", (spec.index, num_devices),
                  device_id=spec.device_id)
         if use_pool:
@@ -286,10 +339,11 @@ def run_multi_gpu(
             rres = []
             for spec in rspecs:
                 rres.append(run_with_recovery(
-                    graph, plan, config,
+                    shard_graph(spec.index), plan, config,
                     fault_plan=fault_plan,
                     device_id=spec.device_id,
                     root_partition=spec.root_partition,
+                    root_vertices=spec.vertex_range,
                     max_retries=max_retries,
                     ledger=ledger,
                     range_key=spec.range_key,

@@ -357,6 +357,15 @@ class OverlayGraph:
         """The *base* CSR neighbor ids (see :attr:`indptr`)."""
         return self.base.indices
 
+    def device_graph_bytes(self) -> int:
+        """Bytes a device must hold to run on the overlay: the base
+        CSR residency plus the delta arc arrays."""
+        return int(
+            self.base.device_graph_bytes()
+            + self.insert_arcs.nbytes
+            + self.delete_arcs.nbytes
+        )
+
     def degree(self, v: "int | np.ndarray | None" = None) -> "np.ndarray | int":
         deg = self._degree_cache
         if deg is None:

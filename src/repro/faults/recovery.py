@@ -190,6 +190,7 @@ def run_with_recovery(
     device_id: int = 0,
     root_range: tuple[int, int] | None = None,
     root_partition: tuple[int, int] | None = None,
+    root_vertices: tuple[int, int] | None = None,
     max_retries: int = 3,
     ledger: RecoveryLedger | None = None,
     range_key: RangeKey | None = None,
@@ -216,7 +217,7 @@ def run_with_recovery(
     engine = STMatchEngine(graph, cfg)
     plan = query if isinstance(query, MatchingPlan) else engine.plan(query)
     if range_key is None:
-        range_key = root_partition or root_range or ("full", device_id)
+        range_key = root_partition or root_vertices or root_range or ("full", device_id)
 
     trail: list[str] = []
     checkpoint = None
@@ -232,6 +233,7 @@ def run_with_recovery(
             plan,
             root_range=root_range,
             root_partition=root_partition,
+            root_vertices=root_vertices,
             device=dev,
             resume_from=checkpoint,
         )

@@ -17,13 +17,21 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["CSRGraph", "DEFAULT_BITMAP_THRESHOLD"]
+__all__ = ["ADJACENCY_BITMAP_MAX_VERTICES", "CSRGraph", "DEFAULT_BITMAP_THRESHOLD"]
 
 #: degree at which a vertex's neighbor list is worth a dense bitmap row:
 #: membership tests against such operands dominate ``getCandidates`` on
 #: skewed graphs (GSI's encoding-table argument), and the B406 lint rule
 #: flags graphs whose max degree crosses this line.
 DEFAULT_BITMAP_THRESHOLD = 1024
+
+#: hard ceiling on ``num_vertices`` for :meth:`CSRGraph.adjacency_bitmap`.
+#: Each hub row densifies to ``n`` bytes, so on out-of-core graphs the
+#: bitmap quietly rebuilds the O(n²) structure the memmap backend exists
+#: to avoid — above this line (or on memmapped graphs of any size) the
+#: method refuses and the B409 lint rule says to set
+#: ``bitmap_threshold=None`` instead.
+ADJACENCY_BITMAP_MAX_VERTICES = 1 << 18
 
 
 def _as_int32(a: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -272,6 +280,21 @@ class CSRGraph:
         """
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
+        n = self.num_vertices
+        if n > ADJACENCY_BITMAP_MAX_VERTICES:
+            raise ValueError(
+                f"adjacency_bitmap refused: {self.name!r} has {n} vertices "
+                f"(> {ADJACENCY_BITMAP_MAX_VERTICES}); each hub row densifies "
+                "to n bytes, which defeats out-of-core execution — set "
+                "bitmap_threshold=None for graphs this large (lint rule B409)"
+            )
+        if isinstance(self.indices, np.memmap) or isinstance(self.indptr, np.memmap):
+            raise ValueError(
+                f"adjacency_bitmap refused: {self.name!r} is memory-mapped; "
+                "densifying hub rows would fault in and pin the pages the "
+                "memmap backend keeps cold — set bitmap_threshold=None "
+                "(lint rule B409)"
+            )
         cache = getattr(self, "_bitmap_cache", None)
         if cache is None:
             cache = {}
@@ -319,6 +342,21 @@ class CSRGraph:
         row = self.neighbors(u)
         i = int(np.searchsorted(row, v))
         return i < row.size and int(row[i]) == v
+
+    def device_graph_bytes(self) -> int:
+        """Bytes of graph data a virtual device must hold to run on it.
+
+        For a plain graph that is the full CSR (the paper's Fig. 11
+        duplication model charges every device the whole graph).
+        Views with a smaller resident working set override this —
+        :class:`repro.scale.partition.PartitionedGraph` charges only its
+        owned-range + boundary replica — and the engine's fixed-memory
+        allocator and the B-rule budget linter both go through here.
+        """
+        total = int(self.indices.nbytes + self.indptr.nbytes)
+        if self.labels is not None:
+            total += int(self.labels.nbytes)
+        return total
 
     def max_degree(self) -> int:
         deg = self.degree()

@@ -54,8 +54,13 @@ class DatasetSpec:
         g = self.make(_SCALES[scale])
         if self.labeled:
             g = assign_random_labels(g, num_labels=10, seed=7)
-        return CSRGraph(indptr=g.indptr, indices=g.indices, labels=g.labels,
-                        directed=g.directed, name=self.name)
+        # rename without re-validating: the generator already validated
+        # the arrays, and __post_init__ would re-run the per-row check
+        # (a full O(n + m) pass with a Python row loop) plus an array
+        # round-trip — wasted on every cache miss, painful at scale.
+        return CSRGraph.wrap_validated(
+            g.indptr, g.indices, labels=g.labels, directed=g.directed, name=self.name
+        )
 
 
 def _n(base: int, f: float) -> int:

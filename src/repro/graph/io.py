@@ -15,7 +15,7 @@ from __future__ import annotations
 import io
 import os
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO
 
 import numpy as np
 
@@ -23,12 +23,17 @@ from .builder import GraphBuilder
 from .csr import CSRGraph
 
 __all__ = [
+    "iter_edge_chunks",
     "load_snap_edgelist",
     "load_labeled_graph",
     "save_npz",
     "load_npz",
     "load_auto",
 ]
+
+#: edges per parsed chunk — bounds ingest peak memory at O(chunk)
+#: regardless of file size (~16 MB of int64 pairs at the default).
+EDGE_CHUNK_SIZE = 1 << 20
 
 
 def _open(path_or_file: str | os.PathLike | TextIO) -> tuple[TextIO, bool]:
@@ -37,36 +42,58 @@ def _open(path_or_file: str | os.PathLike | TextIO) -> tuple[TextIO, bool]:
     return open(path_or_file, "r", encoding="utf-8"), True
 
 
-def load_snap_edgelist(
+def iter_edge_chunks(
     path_or_file: str | os.PathLike | TextIO,
-    directed: bool = False,
-    compact_ids: bool = True,
-    name: str | None = None,
-) -> CSRGraph:
-    """Load a SNAP-style edge list.
+    chunk_edges: int = EDGE_CHUNK_SIZE,
+) -> Iterator[np.ndarray]:
+    """Stream a SNAP-style edge list as ``(k, 2)`` int64 chunks.
 
     Lines starting with ``#`` or ``%`` are comments; every other
-    non-empty line is ``u v`` (extra columns ignored).  SNAP ids are
-    sparse, so ids are compacted by default.
+    non-empty line is ``u v`` (extra columns ignored).  Peak memory is
+    one chunk, never the file: this generator is the streaming core of
+    :func:`load_snap_edgelist` and the re-iterable source the
+    out-of-core ingest (:mod:`repro.scale.ingest`) consumes twice.
     """
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
     fh, owned = _open(path_or_file)
     try:
-        src: list[int] = []
-        dst: list[int] = []
+        buf: list[int] = []
+        cap = 2 * chunk_edges
         for line in fh:
             line = line.strip()
             if not line or line[0] in "#%":
                 continue
             parts = line.split()
-            src.append(int(parts[0]))
-            dst.append(int(parts[1]))
+            buf.append(int(parts[0]))
+            buf.append(int(parts[1]))
+            if len(buf) >= cap:
+                yield np.asarray(buf, dtype=np.int64).reshape(-1, 2)
+                buf.clear()
+        if buf:
+            yield np.asarray(buf, dtype=np.int64).reshape(-1, 2)
     finally:
         if owned:
             fh.close()
+
+
+def load_snap_edgelist(
+    path_or_file: str | os.PathLike | TextIO,
+    directed: bool = False,
+    compact_ids: bool = True,
+    name: str | None = None,
+    chunk_edges: int = EDGE_CHUNK_SIZE,
+) -> CSRGraph:
+    """Load a SNAP-style edge list (see :func:`iter_edge_chunks`).
+
+    SNAP ids are sparse, so ids are compacted by default.  Edges stream
+    into the builder in bounded chunks — parsing never materializes a
+    Python list of the whole file, so ingest peak memory is
+    ``O(chunk + edges-as-arrays)`` instead of O(file) boxed ints.
+    """
     b = GraphBuilder(directed=directed, compact_ids=compact_ids)
-    edges = np.stack([np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)], axis=1) \
-        if src else np.empty((0, 2), dtype=np.int64)
-    b.add_edges(edges)
+    for chunk in iter_edge_chunks(path_or_file, chunk_edges=chunk_edges):
+        b.add_edges(chunk)
     if name is None:
         name = Path(getattr(path_or_file, "name", "snap_graph")).stem
     return b.build(name=name)

@@ -108,9 +108,13 @@ class ShardSpec:
     ``device_id`` the virtual device hosting it.  Exactly one of
     ``root_partition`` (round-robin, multi-GPU style) or ``root_range``
     (contiguous slice, distributed-task style) is normally set; both
-    ``None`` means the full root range.  ``recover=True`` routes the
-    shard through the recovery ladder with the fault plan armed
-    (``range_key`` / ``attempt_offset`` as in
+    ``None`` means the full root range.  ``vertex_range = (lo, hi)`` is
+    the scale mode's ownership filter: the shard runs on a
+    :class:`~repro.scale.partition.PartitionedGraph` replica owning
+    that contiguous vertex range and enumerates only roots inside it
+    (mutually exclusive with ``root_partition``).  ``recover=True``
+    routes the shard through the recovery ladder with the fault plan
+    armed (``range_key`` / ``attempt_offset`` as in
     :func:`repro.faults.recovery.run_with_recovery`).
     """
 
@@ -118,6 +122,7 @@ class ShardSpec:
     device_id: int
     root_partition: tuple[int, int] | None = None
     root_range: tuple[int, int] | None = None
+    vertex_range: tuple[int, int] | None = None
     recover: bool = False
     range_key: tuple | None = None
     attempt_offset: int = 0
@@ -166,6 +171,14 @@ def _execute_shard(
     from repro.core.engine import STMatchEngine
     from repro.virtgpu.device import VirtualDevice
 
+    if spec.vertex_range is not None:
+        # scale mode: this shard owns a contiguous vertex range — run it
+        # on the 1-hop-replicated view (memoized per range on the graph,
+        # so a worker reuses replicas across batches) and filter roots
+        # to the owned range below
+        from repro.scale.partition import PartitionedGraph
+
+        graph = PartitionedGraph.replicate(graph, *spec.vertex_range)
     if spec.recover:
         from repro.faults.recovery import RecoveryLedger, run_with_recovery
 
@@ -178,6 +191,7 @@ def _execute_shard(
             device_id=spec.device_id,
             root_range=spec.root_range,
             root_partition=spec.root_partition,
+            root_vertices=spec.vertex_range,
             max_retries=spec.max_retries,
             ledger=RecoveryLedger(),
             range_key=spec.range_key,
@@ -189,6 +203,7 @@ def _execute_shard(
         plan,
         root_range=spec.root_range,
         root_partition=spec.root_partition,
+        root_vertices=spec.vertex_range,
         device=dev,
     )
 

@@ -1,0 +1,265 @@
+"""Chunked out-of-core CSR ingest — O(chunk) peak memory.
+
+:meth:`CSRGraph.from_edges` is eager: it concatenates the whole edge
+list, mirrors it for undirected graphs and sorts one global key array —
+three full-size temporaries before the CSR even exists.  That is fine
+for synthetic stand-ins and fatal for multi-GB edge lists.
+
+This module builds the *same* CSR (byte-identical ``indptr`` /
+``indices``, asserted by ``tests/test_scale_backend.py``) directly into
+an on-disk store while only ever holding one edge chunk plus one
+row block in RAM:
+
+1. **count pass** — stream the chunks, accumulate per-source arc counts
+   (both directions for undirected graphs, self-loops dropped) into the
+   ``O(n)`` ``indptr`` skeleton;
+2. **scatter pass** — stream the chunks again, writing each arc into
+   its row's slice of a raw on-disk arc file via per-row cursors
+   (duplicates still present, rows unsorted);
+3. **finalize pass** — walk the raw file in bounded row *blocks*,
+   sort + deduplicate each block's rows with one vectorized key-unique
+   (exactly the ``src * n + dst`` key ``from_edges`` uses), and stream
+   the compacted rows into the final ``indices.npy``.
+
+The edge source must be re-iterable (passes 1 and 2 both consume it),
+so it is a *callable* returning a fresh chunk iterator — a file parser
+(:func:`ingest_edgelist_file`), a generator factory, or a plain edge
+array (sliced into chunks internally, for tests and small inputs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+from .store import STORE_FORMAT, load_csr_store
+
+__all__ = ["ingest_edge_chunks", "ingest_edgelist_file"]
+
+#: default edges per streamed chunk (~16 MB of int64 pairs)
+DEFAULT_CHUNK_EDGES = 1 << 20
+
+#: default arcs per finalize row block (~32 MB of raw int64 keys)
+DEFAULT_BLOCK_ARCS = 1 << 22
+
+ChunkSource = Callable[[], Iterable[np.ndarray]]
+
+
+def _chunk_factory(
+    source: "ChunkSource | np.ndarray | Sequence[tuple[int, int]]",
+    chunk_edges: int,
+) -> ChunkSource:
+    if callable(source):
+        return source
+    arr = np.asarray(source, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edge array must have shape (m, 2)")
+
+    def chunks() -> Iterable[np.ndarray]:
+        for lo in range(0, arr.shape[0], chunk_edges):
+            yield arr[lo : lo + chunk_edges]
+
+    return chunks
+
+
+def _clean_chunk(chunk: np.ndarray, n: int) -> np.ndarray:
+    """Normalize one chunk: int64 (k, 2), bounds-checked, self-loop free."""
+    e = np.asarray(chunk, dtype=np.int64)
+    if e.size == 0:
+        return e.reshape(0, 2)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise ValueError("edge chunks must have shape (k, 2)")
+    if e.min() < 0 or e.max() >= n:
+        raise ValueError("edge endpoint out of range")
+    return e[e[:, 0] != e[:, 1]]
+
+
+def _scatter(
+    raw: np.ndarray,
+    cursor: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+) -> None:
+    """Write ``dst[i]`` into row ``src[i]``'s next free raw slot."""
+    order = np.argsort(src, kind="stable")
+    s = src[order]
+    d = dst[order]
+    rows, counts = np.unique(s, return_counts=True)
+    group_start = np.cumsum(counts) - counts
+    within = np.arange(s.size, dtype=np.int64) - np.repeat(group_start, counts)
+    raw[cursor[s] + within] = d
+    cursor[rows] += counts
+
+
+def ingest_edge_chunks(
+    source: "ChunkSource | np.ndarray | Sequence[tuple[int, int]]",
+    n: int,
+    directory: str | os.PathLike[str],
+    *,
+    labels: "np.ndarray | Sequence[int] | None" = None,
+    directed: bool = False,
+    name: str = "graph",
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    block_arcs: int = DEFAULT_BLOCK_ARCS,
+) -> CSRGraph:
+    """Build an on-disk CSR store from streamed edge chunks.
+
+    ``source`` is a callable returning a fresh iterator of ``(k, 2)``
+    int64 edge-chunk arrays (it is consumed twice), or a plain edge
+    array/sequence for convenience.  Vertex ids must already be dense
+    ``0..n-1`` (out-of-core ingest does no id compaction — remap sparse
+    ids upstream).  Self-loops are dropped, duplicate edges merged, and
+    undirected edges mirrored, exactly as
+    :meth:`CSRGraph.from_edges` does; the resulting arrays are
+    byte-identical to the eager build.
+
+    Returns the ingested graph opened memory-mapped from ``directory``
+    (see :func:`repro.scale.store.load_csr_store`).
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n > np.iinfo(np.int32).max:
+        raise ValueError("vertex ids exceed int32 range")
+    if chunk_edges < 1 or block_arcs < 1:
+        raise ValueError("chunk_edges and block_arcs must be >= 1")
+    chunks = _chunk_factory(source, chunk_edges)
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+
+    # pass 1: per-row arc counts (duplicates included; dedup comes last)
+    counts = np.zeros(n + 1, dtype=np.int64)
+    for chunk in chunks():
+        e = _clean_chunk(chunk, n)
+        if e.size == 0:
+            continue
+        np.add.at(counts, e[:, 0] + 1, 1)
+        if not directed:
+            np.add.at(counts, e[:, 1] + 1, 1)
+    raw_indptr = np.cumsum(counts)
+    total = int(raw_indptr[-1])
+
+    # pass 2: scatter arcs into the raw on-disk row slices
+    raw_path = d / "indices.raw.npy"
+    if total:
+        raw = np.lib.format.open_memmap(
+            raw_path, mode="w+", dtype=np.int32, shape=(total,)
+        )
+        cursor = raw_indptr[:-1].copy()
+        for chunk in chunks():
+            e = _clean_chunk(chunk, n)
+            if e.size == 0:
+                continue
+            _scatter(raw, cursor, e[:, 0], e[:, 1])
+            if not directed:
+                _scatter(raw, cursor, e[:, 1], e[:, 0])
+        raw.flush()
+    else:
+        raw = np.empty(0, dtype=np.int32)
+
+    # pass 3a: deduplicated row lengths (one vectorized unique per block)
+    final_counts = np.zeros(n, dtype=np.int64)
+    blocks: list[tuple[int, int]] = []
+    r0 = 0
+    while r0 < n:
+        r1 = int(np.searchsorted(raw_indptr, raw_indptr[r0] + block_arcs, side="left"))
+        r1 = max(r1, r0 + 1)
+        blocks.append((r0, min(r1, n)))
+        r0 = min(r1, n)
+
+    def block_unique(lo: int, hi: int) -> np.ndarray:
+        """Sorted unique ``(row - lo) * n + dst`` keys of rows [lo, hi)."""
+        seg = np.asarray(raw[raw_indptr[lo] : raw_indptr[hi]], dtype=np.int64)
+        row_of = np.repeat(
+            np.arange(lo, hi, dtype=np.int64), np.diff(raw_indptr[lo : hi + 1])
+        )
+        return np.unique((row_of - lo) * np.int64(max(n, 1)) + seg)
+
+    for lo, hi in blocks:
+        key = block_unique(lo, hi)
+        if key.size:
+            rows, cnt = np.unique(key // max(n, 1), return_counts=True)
+            final_counts[rows + lo] = cnt
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(final_counts, out=indptr[1:])
+    m = int(indptr[-1])
+
+    # pass 3b: stream the compacted, per-row-sorted arcs into the store
+    idx_path = d / "indices.npy"
+    if m:
+        out = np.lib.format.open_memmap(idx_path, mode="w+", dtype=np.int32, shape=(m,))
+        for lo, hi in blocks:
+            key = block_unique(lo, hi)
+            out[indptr[lo] : indptr[hi]] = (key % max(n, 1)).astype(np.int32)
+        out.flush()
+        del out
+    else:
+        np.save(idx_path, np.empty(0, dtype=np.int32))
+    if total:
+        del raw
+    raw_path.unlink(missing_ok=True)
+    np.save(d / "indptr.npy", indptr)
+
+    labeled = labels is not None
+    if labels is not None:
+        lab = np.asarray(labels, dtype=np.int64)
+        if lab.shape != (n,):
+            raise ValueError("labels must have one entry per vertex")
+        if lab.size and lab.min() < 0:
+            raise ValueError("labels must be non-negative")
+        np.save(d / "labels.npy", lab.astype(np.int32))
+    meta = {
+        "format": STORE_FORMAT,
+        "name": name,
+        "directed": bool(directed),
+        "num_vertices": int(n),
+        "num_arcs": m,
+        "labeled": labeled,
+    }
+    (d / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return load_csr_store(d)
+
+
+def ingest_edgelist_file(
+    path: str | os.PathLike[str],
+    directory: str | os.PathLike[str],
+    *,
+    n: int | None = None,
+    directed: bool = False,
+    name: str | None = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> CSRGraph:
+    """Stream a SNAP-style edge-list file into an on-disk CSR store.
+
+    Vertex ids must be dense (no id compaction out of core); ``n`` is
+    inferred with one extra counting pass when not given.  Peak memory
+    is ``O(n + chunk)`` regardless of edge count.
+    """
+    from repro.graph.io import iter_edge_chunks
+
+    p = Path(path)
+
+    def chunks() -> Iterable[np.ndarray]:
+        return iter_edge_chunks(p, chunk_edges=chunk_edges)
+
+    if n is None:
+        hi = -1
+        for chunk in chunks():
+            if chunk.size:
+                hi = max(hi, int(chunk.max()))
+        n = hi + 1
+    return ingest_edge_chunks(
+        chunks,
+        n,
+        directory,
+        directed=directed,
+        name=name if name is not None else p.stem,
+        chunk_edges=chunk_edges,
+    )
